@@ -1,0 +1,202 @@
+package scanshare
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Benchmarks: one per table/figure of the paper's evaluation (§4). Each
+// regenerates the corresponding experiment at a reduced scale so the
+// whole suite completes quickly; `cmd/scanbench` runs the full sweeps.
+// The benchmarked quantity is the wall-clock cost of simulating the
+// experiment; the experiment's own metrics (virtual stream time, I/O
+// volume) are reported as custom benchmark metrics.
+
+// benchOptions returns reduced-scale options for benchmark runs.
+func benchOptions() Options {
+	return Options{
+		SF:               0.008,
+		Seed:             42,
+		Streams:          4,
+		QueriesPerStream: 6,
+		ThreadsPerQuery:  4,
+	}
+}
+
+func report(b *testing.B, rows []SweepRow) {
+	b.Helper()
+	var io, t float64
+	for _, r := range rows {
+		io += r.IOMB
+		t += r.AvgStreamSec
+	}
+	b.ReportMetric(io, "sim-IO-MB")
+	b.ReportMetric(t, "sim-stream-s")
+}
+
+func BenchmarkFig11MicroBufferSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, Fig11(benchOptions()))
+	}
+}
+
+func BenchmarkFig12MicroBandwidthSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, Fig12(benchOptions()))
+	}
+}
+
+func BenchmarkFig13MicroStreamSweep(b *testing.B) {
+	o := benchOptions()
+	o.Streams = 0 // the sweep sets stream counts itself
+	for i := 0; i < b.N; i++ {
+		report(b, Fig13(o))
+	}
+}
+
+func BenchmarkFig14TPCHBufferSweep(b *testing.B) {
+	o := benchOptions()
+	o.QueriesPerStream = 8
+	for i := 0; i < b.N; i++ {
+		report(b, Fig14(o))
+	}
+}
+
+func BenchmarkFig15TPCHBandwidthSweep(b *testing.B) {
+	o := benchOptions()
+	o.QueriesPerStream = 8
+	for i := 0; i < b.N; i++ {
+		report(b, Fig15(o))
+	}
+}
+
+func BenchmarkFig16TPCHStreamSweep(b *testing.B) {
+	o := benchOptions()
+	o.Streams = 0
+	o.QueriesPerStream = 8
+	for i := 0; i < b.N; i++ {
+		report(b, Fig16(o))
+	}
+}
+
+func BenchmarkFig17MicroSharingPotential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := Fig17(benchOptions())
+		var mbTotal float64
+		for _, r := range rows {
+			mbTotal += r.MB[0] + r.MB[1] + r.MB[2] + r.MB[3]
+		}
+		b.ReportMetric(mbTotal/float64(len(rows)+1), "avg-wanted-MB")
+	}
+}
+
+func BenchmarkFig18TPCHSharingPotential(b *testing.B) {
+	o := benchOptions()
+	o.QueriesPerStream = 8
+	for i := 0; i < b.N; i++ {
+		rows := Fig18(o)
+		var mbTotal float64
+		for _, r := range rows {
+			mbTotal += r.MB[0] + r.MB[1] + r.MB[2] + r.MB[3]
+		}
+		b.ReportMetric(mbTotal/float64(len(rows)+1), "avg-wanted-MB")
+	}
+}
+
+// Ablation benches: design choices DESIGN.md calls out.
+
+// BenchmarkAblationPolicyMicro compares every policy (including the
+// MRU/Clock baselines and the PBM/LRU future-work variant) at the
+// default microbenchmark point.
+func BenchmarkAblationPolicyMicro(b *testing.B) {
+	db := GenerateTPCH(0.008, 42)
+	for _, pol := range []Policy{LRU, MRU, Clock, PBM, PBMLRU, CScan} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := workload.DefaultMicroConfig()
+				cfg.Policy = pol
+				cfg.Streams = 4
+				cfg.QueriesPerStream = 6
+				cfg.ThreadsPerQuery = 4
+				res := workload.RunMicro(db, cfg)
+				b.ReportMetric(float64(res.TotalIOBytes)/1e6, "sim-IO-MB")
+				b.ReportMetric(res.AvgStreamSec, "sim-stream-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationChunkSize varies the Cooperative Scans chunk
+// granularity (the §2 design choice: big chunks preserve locality, small
+// chunks reduce skew).
+func BenchmarkAblationChunkSize(b *testing.B) {
+	db := GenerateTPCH(0.008, 42)
+	for _, chunk := range []int64{512, 2048, 8192} {
+		chunk := chunk
+		b.Run(fmt.Sprintf("chunk%d", chunk), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := workload.DefaultMicroConfig()
+				cfg.Policy = CScan
+				cfg.Streams = 4
+				cfg.QueriesPerStream = 6
+				cfg.ThreadsPerQuery = 4
+				cfg.ChunkTuples = chunk
+				res := workload.RunMicro(db, cfg)
+				b.ReportMetric(float64(res.TotalIOBytes)/1e6, "sim-IO-MB")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationThrottle compares plain PBM against the §5
+// attach&throttle extension at the paper-identified weak point: extreme
+// memory pressure with maximal sharing potential.
+func BenchmarkAblationThrottle(b *testing.B) {
+	db := GenerateTPCH(0.008, 42)
+	for _, throttle := range []bool{false, true} {
+		throttle := throttle
+		name := "plain"
+		if throttle {
+			name = "throttled"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := workload.DefaultMicroConfig()
+				cfg.Policy = PBM
+				cfg.Streams = 6
+				cfg.QueriesPerStream = 4
+				cfg.ThreadsPerQuery = 1
+				cfg.BufferFrac = 0.1
+				cfg.RangePercents = []int{100}
+				cfg.Throttle = throttle
+				res := workload.RunMicro(db, cfg)
+				b.ReportMetric(float64(res.TotalIOBytes)/1e6, "sim-IO-MB")
+				b.ReportMetric(res.AvgStreamSec, "sim-stream-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReadAhead sweeps the Scan operator's per-column
+// read-ahead window — the knob that trades sequential locality against
+// pool churn.
+func BenchmarkAblationReadAhead(b *testing.B) {
+	db := GenerateTPCH(0.008, 42)
+	for _, pol := range []Policy{LRU, PBM} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := workload.DefaultMicroConfig()
+				cfg.Policy = pol
+				cfg.Streams = 4
+				cfg.QueriesPerStream = 6
+				cfg.ThreadsPerQuery = 2
+				res := workload.RunMicro(db, cfg)
+				b.ReportMetric(res.AvgStreamSec, "sim-stream-s")
+			}
+		})
+	}
+}

@@ -1,0 +1,190 @@
+// Command scanbench regenerates the tables and figures of the paper's
+// evaluation (§4): Figures 11–16 (average stream time and total I/O
+// volume under LRU, Cooperative Scans, PBM and OPT, sweeping buffer pool
+// size, I/O bandwidth and stream count) and Figures 17–18 (sharing
+// potential over time).
+//
+// Usage:
+//
+//	scanbench [flags] fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|all
+//
+// Output is an aligned text table per figure; pass -tsv for
+// tab-separated output suitable for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	scanshare "repro"
+)
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 0.05, "TPC-H scale factor of the generated data")
+		seed    = flag.Int64("seed", 42, "workload and generator seed")
+		streams = flag.Int("streams", 0, "override concurrent streams")
+		queries = flag.Int("queries", 0, "override queries per stream")
+		threads = flag.Int("threads", 0, "override threads per query")
+		cores   = flag.Int("cores", 0, "override simulated cores")
+		cpu     = flag.Duration("cpu", 0, "override per-tuple CPU cost")
+		tsv     = flag.Bool("tsv", false, "emit tab-separated values")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: scanbench [flags] fig11..fig18|all")
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := scanshare.Options{
+		SF: *sf, Seed: *seed, Streams: *streams, QueriesPerStream: *queries,
+		ThreadsPerQuery: *threads, Cores: *cores, PerTupleCPU: *cpu,
+	}
+	targets := flag.Args()
+	if len(targets) == 1 && targets[0] == "all" {
+		targets = []string{"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation"}
+	}
+	for _, target := range targets {
+		start := time.Now()
+		switch target {
+		case "fig11":
+			printSweep("Figure 11: microbenchmark, varying buffer pool size", "pool %%", scanshare.Fig11(opts), *tsv)
+		case "fig12":
+			printSweep("Figure 12: microbenchmark, varying I/O bandwidth", "MB/s", scanshare.Fig12(opts), *tsv)
+		case "fig13":
+			printSweep("Figure 13: microbenchmark, varying number of streams", "streams", scanshare.Fig13(opts), *tsv)
+		case "fig14":
+			printSweep("Figure 14: TPC-H throughput, varying buffer pool size", "pool %%", scanshare.Fig14(opts), *tsv)
+		case "fig15":
+			printSweep("Figure 15: TPC-H throughput, varying I/O bandwidth", "MB/s", scanshare.Fig15(opts), *tsv)
+		case "fig16":
+			printSweep("Figure 16: TPC-H throughput, varying number of streams", "streams", scanshare.Fig16(opts), *tsv)
+		case "fig17":
+			printSharing("Figure 17: sharing potential, microbenchmark", scanshare.Fig17(opts), *tsv)
+		case "fig18":
+			printSharing("Figure 18: sharing potential, TPC-H throughput", scanshare.Fig18(opts), *tsv)
+		case "ablation":
+			printAblation(scanshare.Ablation(opts), *tsv)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown target %q\n", target)
+			os.Exit(2)
+		}
+		fmt.Printf("# %s done in %v\n\n", target, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// printSweep renders the two panels of a Figures-11..16-style plot: one
+// series per policy for average stream time, one for total I/O.
+func printSweep(title, xlabel string, rows []scanshare.SweepRow, tsv bool) {
+	fmt.Printf("== %s ==\n", title)
+	if tsv {
+		fmt.Printf("x\tpolicy\tavg_stream_sec\tio_mb\n")
+		for _, r := range rows {
+			fmt.Printf("%g\t%s\t%.4f\t%.1f\n", r.X, r.Policy, r.AvgStreamSec, r.IOMB)
+		}
+		return
+	}
+	// Pivot: rows grouped by x, one column per policy.
+	policies := []string{"LRU", "CScans", "PBM", "OPT"}
+	xs := make([]float64, 0)
+	seen := map[float64]bool{}
+	cell := map[float64]map[string]scanshare.SweepRow{}
+	for _, r := range rows {
+		if !seen[r.X] {
+			seen[r.X] = true
+			xs = append(xs, r.X)
+			cell[r.X] = map[string]scanshare.SweepRow{}
+		}
+		cell[r.X][r.Policy] = r
+	}
+	sort.Float64s(xs)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "-- average stream time (s) --\n")
+	fmt.Fprintf(w, "%s", xlabel)
+	for _, p := range policies {
+		if p == "OPT" {
+			continue // OPT has no time series (I/O-only simulation, §4)
+		}
+		fmt.Fprintf(w, "\t%s", p)
+	}
+	fmt.Fprintln(w)
+	for _, x := range xs {
+		fmt.Fprintf(w, "%g", x)
+		for _, p := range policies {
+			if p == "OPT" {
+				continue
+			}
+			fmt.Fprintf(w, "\t%.3f", cell[x][p].AvgStreamSec)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "-- total I/O volume (MB) --\n")
+	fmt.Fprintf(w, "%s", xlabel)
+	for _, p := range policies {
+		fmt.Fprintf(w, "\t%s", p)
+	}
+	fmt.Fprintln(w)
+	for _, x := range xs {
+		fmt.Fprintf(w, "%g", x)
+		for _, p := range policies {
+			fmt.Fprintf(w, "\t%.1f", cell[x][p].IOMB)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+}
+
+func printSharing(title string, rows []scanshare.SharingRow, tsv bool) {
+	fmt.Printf("== %s ==\n", title)
+	if tsv {
+		fmt.Printf("time_sec\tmb_1scan\tmb_2scans\tmb_3scans\tmb_4plus\n")
+		for _, r := range rows {
+			fmt.Printf("%.4f\t%.1f\t%.1f\t%.1f\t%.1f\n", r.TimeSec, r.MB[0], r.MB[1], r.MB[2], r.MB[3])
+		}
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "time (s)\t1 scan\t2 scans\t3 scans\t>=4 scans\t(MB wanted by exactly k scans)")
+	step := len(rows)/40 + 1 // cap terminal output at ~40 samples
+	for i := 0; i < len(rows); i += step {
+		r := rows[i]
+		fmt.Fprintf(w, "%.3f\t%.1f\t%.1f\t%.1f\t%.1f\t%s\n",
+			r.TimeSec, r.MB[0], r.MB[1], r.MB[2], r.MB[3], bar(r.MB))
+	}
+	w.Flush()
+}
+
+func printAblation(rows []scanshare.AblationRow, tsv bool) {
+	fmt.Println("== Ablation: every policy variant at the default microbenchmark point ==")
+	if tsv {
+		fmt.Printf("variant\tavg_stream_sec\tio_mb\n")
+		for _, r := range rows {
+			fmt.Printf("%s\t%.4f\t%.1f\n", r.Variant, r.AvgStreamSec, r.IOMB)
+		}
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "variant\tavg stream (s)\ttotal I/O (MB)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.3f\t%.1f\n", r.Variant, r.AvgStreamSec, r.IOMB)
+	}
+	w.Flush()
+}
+
+// bar renders a tiny stacked area impression: one char per ~sixteenth of
+// the max volume, '.'=1 scan, '+'=2-3 scans, '#'=4+.
+func bar(mb [4]float64) string {
+	total := mb[0] + mb[1] + mb[2] + mb[3]
+	if total <= 0 {
+		return ""
+	}
+	const width = 24
+	n := func(v float64) int { return int(v / total * width) }
+	return strings.Repeat("#", n(mb[3])) + strings.Repeat("+", n(mb[1]+mb[2])) + strings.Repeat(".", n(mb[0]))
+}

@@ -1,0 +1,92 @@
+// Extensions: the paper's §5 future-work ideas, side by side. A leading
+// scan and a trailing scan share a table through a pool a quarter of the
+// table's size, under four scan strategies:
+//
+//   - plain in-order Scan (the baseline every policy uses),
+//   - AttachScan: the classic circular-scan "attach" of SQLServer/
+//     RedBrick — the trailer jumps to the leader's position and wraps,
+//   - OScan: opportunistic CScans — each scan independently gravitates
+//     to the most-cached region, cooperating without a central planner,
+//   - Scan+throttle: PBM advises the leader to slow down when its pages
+//     would be evicted before the trailer reuses them.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	scanshare "repro"
+	"repro/internal/exec"
+	"repro/internal/pbm"
+)
+
+const rows = 300_000
+
+func main() {
+	fmt.Println("strategy        total I/O     makespan")
+	for _, mode := range []string{"plain", "attach", "oscan", "throttle"} {
+		io, span := run(mode)
+		fmt.Printf("%-12s %8.1f MB %12v\n", mode, float64(io)/1e6, span.Round(time.Millisecond))
+	}
+	fmt.Println("\n(two scans, pool = 25% of table; lower I/O = better sharing)")
+}
+
+func run(mode string) (int64, time.Duration) {
+	sys := scanshare.NewSystem(scanshare.SystemConfig{
+		Policy:      scanshare.PBM,
+		BufferBytes: rows * 8 / 4, // quarter of the 8 B/row column
+		BandwidthMB: 200,
+	})
+	if mode == "throttle" {
+		tc := pbm.DefaultThrottleConfig()
+		tc.Enabled = true
+		sys.PBM.SetThrottle(tc)
+	}
+	table, err := sys.Catalog.CreateTable("t", scanshare.Schema{
+		{Name: "v", Type: scanshare.Int64, Width: 8},
+	})
+	if err != nil {
+		panic(err)
+	}
+	data := scanshare.NewColumnData()
+	data.I64[0] = make([]int64, rows)
+	snap, err := table.Master().Append(data)
+	if err != nil {
+		panic(err)
+	}
+	if err := snap.Commit(); err != nil {
+		panic(err)
+	}
+	registry := exec.NewAttachRegistry()
+
+	newScan := func() exec.Operator {
+		switch mode {
+		case "attach":
+			return &exec.AttachScan{Ctx: sys.Ctx, Snap: snap, Cols: []int{0}, Registry: registry}
+		case "oscan":
+			return &exec.OScan{Ctx: sys.Ctx, Snap: snap, Cols: []int{0},
+				Ranges: []scanshare.RIDRange{{Lo: 0, Hi: rows}}, SectionTuples: 8192}
+		default:
+			return &exec.Scan{Ctx: sys.Ctx, Snap: snap, Cols: []int{0},
+				Ranges: []scanshare.RIDRange{{Lo: 0, Hi: rows}}}
+		}
+	}
+	sys.Run(func() {
+		wg := sys.NewWaitGroup()
+		scan := func(delay time.Duration) {
+			defer wg.Done()
+			sys.Eng.Sleep(delay)
+			op := newScan()
+			op.Open()
+			for b := op.Next(); b != nil; b = op.Next() {
+				sys.Eng.Sleep(100 * time.Microsecond) // processing cost
+			}
+			op.Close()
+		}
+		wg.Add(2)
+		sys.Go("lead", func() { scan(0) })
+		sys.Go("trail", func() { scan(120 * time.Millisecond) })
+		wg.Wait()
+	})
+	return sys.IOBytes(), sys.Now()
+}

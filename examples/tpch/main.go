@@ -1,0 +1,32 @@
+// TPC-H throughput: a small-scale version of the paper's §4.2 experiment.
+// Streams of the 22-query mix run against a generated TPC-H-shaped
+// database under each buffer-management policy, printing the two metrics
+// of Figures 14–16: average stream time and total I/O volume, plus OPT's
+// I/O from replaying the PBM trace.
+package main
+
+import (
+	"fmt"
+
+	scanshare "repro"
+)
+
+func main() {
+	db := scanshare.GenerateTPCH(0.01, 7)
+	fmt.Printf("generated TPC-H-shaped data: lineitem %d rows, orders %d rows\n\n",
+		db.Snapshot("lineitem").NumTuples(), db.Snapshot("orders").NumTuples())
+
+	fmt.Println("policy   avg stream (s)   total I/O (MB)")
+	for _, policy := range []scanshare.Policy{scanshare.LRU, scanshare.PBM, scanshare.CScan} {
+		cfg := scanshare.DefaultTPCHConfig()
+		cfg.Policy = policy
+		cfg.Streams = 4
+		cfg.TraceForOPT = policy == scanshare.PBM
+		res := scanshare.RunTPCHThroughput(db, cfg)
+		fmt.Printf("%-8s %14.3f %16.1f\n", res.Policy, res.AvgStreamSec, float64(res.TotalIOBytes)/1e6)
+		if policy == scanshare.PBM {
+			fmt.Printf("%-8s %14s %16.1f   (Belady replay of the PBM trace)\n",
+				"OPT", "-", float64(res.OPTIOBytes())/1e6)
+		}
+	}
+}

@@ -1,0 +1,772 @@
+// Package abm implements Cooperative Scans (Zukowski et al., VLDB 2007)
+// matured per §2 of the paper: an Active Buffer Manager that owns the
+// buffer pool and makes all loading, delivery and eviction decisions at
+// chunk granularity, delivering data to CScan operators out of order to
+// maximize sharing.
+//
+// Chunks are logical ranges of tuples (SIDs), not sets of pages: in a
+// column store each column maps a chunk to a very different number of
+// pages (§2). The ABM scheduler runs as its own simulated process and
+// uses the four relevance functions of the framework:
+//
+//   - QueryRelevance: which CScan to serve next — starved queries first,
+//     then queries with the least data remaining (favor short queries).
+//   - LoadRelevance: which chunk to load for it — chunks more concurrent
+//     scans are interested in score higher, with a bonus for chunks in
+//     the snapshot-shared prefix (§2.1).
+//   - UseRelevance: which cached chunk to hand a CScan — the one fewest
+//     other scans are interested in, making chunks evictable sooner.
+//   - KeepRelevance: which chunk to evict — the lowest-scoring cached
+//     chunk, evicted only if it scores below the pending load.
+//
+// The package also implements the production-hardening described in §2.1
+// and §2.3: shared/local chunk marking from longest common snapshot
+// prefixes, the four registration cases for snapshot/version changes, and
+// an in-order delivery mode that makes a CScan a drop-in Scan replacement.
+package abm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/iosim"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Config parameterizes the ABM.
+type Config struct {
+	// ChunkTuples is the chunk granularity in tuples.
+	ChunkTuples int64
+	// Capacity is the buffer budget in bytes (ABM owns the full pool,
+	// §2.3).
+	Capacity int64
+	// SharedBonus is added to load/keep relevance of snapshot-shared
+	// chunks.
+	SharedBonus float64
+}
+
+// DefaultChunkTuples is the default chunk granularity.
+const DefaultChunkTuples = 8192
+
+// Stats aggregates ABM activity.
+type Stats struct {
+	BytesLoaded  int64
+	ChunksLoaded int64
+	BytesEvicted int64
+	Deliveries   int64
+	BlockedLoads int64 // scheduler rounds where eviction could not make room
+}
+
+type tableKey struct {
+	table   *storage.Table
+	version int
+}
+
+// residentPage tracks one ABM-cached page.
+type residentPage struct {
+	page  *storage.Page
+	owner *chunk // the chunk whose load brought the page in
+	pins  int
+}
+
+// chunk is the ABM metadata for one logical tuple range of a table
+// version.
+type chunk struct {
+	tm     *tableMeta
+	idx    int
+	shared bool // in the longest snapshot prefix shared by >=2 scans
+
+	interest int // scans that still need this chunk delivered
+	loading  bool
+	owned    []*residentPage // pages whose load this chunk triggered
+	bytes    int64           // resident bytes owned
+}
+
+func (c *chunk) lo() int64 { return int64(c.idx) * c.tm.abm.cfg.ChunkTuples }
+func (c *chunk) hi() int64 {
+	h := c.lo() + c.tm.abm.cfg.ChunkTuples
+	if h > c.tm.maxTuples {
+		h = c.tm.maxTuples
+	}
+	return h
+}
+
+// tableMeta is the ABM metadata for one (table, version) pair.
+type tableMeta struct {
+	abm       *ABM
+	key       tableKey
+	maxTuples int64
+	chunks    []*chunk
+	scans     []*CScan
+}
+
+// ABM is the Active Buffer Manager. All methods must be called from
+// simulated processes.
+type ABM struct {
+	eng  *sim.Engine
+	disk *iosim.Disk
+	cfg  Config
+
+	tables   map[tableKey]*tableMeta
+	tabOrder []*tableMeta
+	resident map[storage.PageID]*residentPage
+	used     int64
+
+	work    *sim.Event
+	stopped bool
+	stats   Stats
+	// pinnedDeliveries counts outstanding (un-Released) deliveries; used
+	// by the scheduler's liveness safeguard.
+	pinnedDeliveries int
+
+	// OnLoad, if non-nil, observes every page load (trace hook).
+	OnLoad func(p *storage.Page)
+}
+
+// New creates an ABM and starts its scheduler process on the engine.
+func New(eng *sim.Engine, disk *iosim.Disk, cfg Config) *ABM {
+	if cfg.ChunkTuples <= 0 {
+		cfg.ChunkTuples = DefaultChunkTuples
+	}
+	if cfg.Capacity <= 0 {
+		panic("abm: capacity must be positive")
+	}
+	if cfg.SharedBonus == 0 {
+		cfg.SharedBonus = 0.5
+	}
+	a := &ABM{
+		eng:      eng,
+		disk:     disk,
+		cfg:      cfg,
+		tables:   make(map[tableKey]*tableMeta),
+		resident: make(map[storage.PageID]*residentPage),
+	}
+	a.work = eng.NewEvent()
+	eng.Go("abm-scheduler", a.run)
+	return a
+}
+
+// Stats returns a snapshot of the counters.
+func (a *ABM) Stats() Stats { return a.stats }
+
+// Used returns the resident byte volume.
+func (a *ABM) Used() int64 { return a.used }
+
+// Stop shuts the scheduler down once all CScans are unregistered.
+func (a *ABM) Stop() {
+	a.stopped = true
+	a.work.Fire()
+}
+
+// CScan is a registered cooperative scan.
+type CScan struct {
+	abm    *ABM
+	tm     *tableMeta
+	snap   *storage.Snapshot
+	cols   []int
+	sorted []int // cols deduplicated+sorted for page walks
+
+	need      []bool // per chunk: interested and not yet delivered
+	remaining int
+	inOrder   bool
+	nextIdx   int // next chunk index (in-order mode)
+
+	avail *sim.Event // fired when a chunk of interest becomes cached
+}
+
+// SIDRange is a half-open range of stable tuple positions.
+type SIDRange struct{ Lo, Hi int64 }
+
+// RegisterCScan registers a scan over the given snapshot, columns and SID
+// ranges; the paper's RegisterCScan. inOrder requests strictly ascending
+// chunk delivery (§2.3), making the CScan a drop-in Scan replacement at
+// chunk granularity.
+func (a *ABM) RegisterCScan(snap *storage.Snapshot, cols []int, ranges []SIDRange, inOrder bool) *CScan {
+	tm := a.tableMetaFor(snap)
+	cs := &CScan{
+		abm:     a,
+		tm:      tm,
+		snap:    snap,
+		cols:    cols,
+		inOrder: inOrder,
+		avail:   a.eng.NewEvent(),
+		need:    make([]bool, len(tm.chunks)),
+	}
+	cs.sorted = append(cs.sorted, cols...)
+	sort.Ints(cs.sorted)
+	cs.nextIdx = len(tm.chunks)
+	for _, r := range ranges {
+		if r.Lo < 0 || r.Hi > snap.NumTuples() || r.Lo > r.Hi {
+			panic(fmt.Sprintf("abm: bad SID range [%d,%d)", r.Lo, r.Hi))
+		}
+		if r.Lo == r.Hi {
+			continue
+		}
+		first := int(r.Lo / a.cfg.ChunkTuples)
+		last := int((r.Hi - 1) / a.cfg.ChunkTuples)
+		for i := first; i <= last; i++ {
+			if !cs.need[i] {
+				cs.need[i] = true
+				cs.remaining++
+				tm.chunks[i].interest++
+			}
+			if i < cs.nextIdx {
+				cs.nextIdx = i
+			}
+		}
+	}
+	tm.scans = append(tm.scans, cs)
+	tm.remarkShared()
+	a.work.Fire()
+	return cs
+}
+
+// tableMetaFor implements the four registration cases (i)–(iv) of §2.1:
+// fresh table, identical snapshot, common-prefix snapshot (all the same
+// (table,version) key, possibly extended), or a new table version.
+func (a *ABM) tableMetaFor(snap *storage.Snapshot) *tableMeta {
+	key := tableKey{table: snap.Table(), version: snap.Version()}
+	tm, ok := a.tables[key]
+	if !ok {
+		tm = &tableMeta{abm: a, key: key}
+		a.tables[key] = tm
+		a.tabOrder = append(a.tabOrder, tm)
+		a.dropStaleVersions(key.table, key.version)
+	}
+	if snap.NumTuples() > tm.maxTuples {
+		tm.maxTuples = snap.NumTuples()
+		want := int((tm.maxTuples + a.cfg.ChunkTuples - 1) / a.cfg.ChunkTuples)
+		for len(tm.chunks) < want {
+			tm.chunks = append(tm.chunks, &chunk{tm: tm, idx: len(tm.chunks)})
+		}
+		for _, cs := range tm.scans {
+			for len(cs.need) < len(tm.chunks) {
+				cs.need = append(cs.need, false)
+			}
+		}
+	}
+	return tm
+}
+
+// dropStaleVersions destroys metadata (and evicts pages) of older
+// versions of the table that no scan uses anymore — the checkpoint
+// housekeeping of §2.1.
+func (a *ABM) dropStaleVersions(t *storage.Table, current int) {
+	keep := a.tabOrder[:0]
+	for _, tm := range a.tabOrder {
+		if tm.key.table == t && tm.key.version != current && len(tm.scans) == 0 {
+			for _, c := range tm.chunks {
+				a.evictChunk(c)
+			}
+			delete(a.tables, tm.key)
+			continue
+		}
+		keep = append(keep, tm)
+	}
+	a.tabOrder = keep
+}
+
+// remarkShared recomputes shared/local chunk marking: the longest prefix
+// of tuples covered by pages common to at least two registered scans'
+// snapshots (§2.1). Chunks fully inside the prefix are shared.
+func (tm *tableMeta) remarkShared() {
+	var best int64
+	for i := 0; i < len(tm.scans); i++ {
+		for j := i + 1; j < len(tm.scans); j++ {
+			if p := tm.scans[i].snap.SharedPrefixTuples(tm.scans[j].snap); p > best {
+				best = p
+			}
+		}
+	}
+	limit := int(best / tm.abm.cfg.ChunkTuples) // chunks fully below the prefix bound
+	for i, c := range tm.chunks {
+		c.shared = i < limit
+	}
+}
+
+// Delivery is one chunk handed to a CScan. The receiver processes the
+// tuple range and must call Release when done.
+type Delivery struct {
+	cs    *CScan
+	Chunk int
+	Lo    int64 // SID range of the chunk
+	Hi    int64
+	pages []*residentPage
+}
+
+// GetChunk blocks until a chunk of interest is cached and returns it; the
+// paper's GetChunk. It returns ok=false when every registered range has
+// been delivered.
+func (cs *CScan) GetChunk() (*Delivery, bool) {
+	for {
+		if cs.remaining == 0 {
+			return nil, false
+		}
+		var pick *chunk
+		if cs.inOrder {
+			c := cs.tm.chunks[cs.nextIdx]
+			if cs.abm.chunkCachedFor(cs, c) {
+				pick = c
+			}
+		} else {
+			// UseRelevance: among cached chunks of interest, take the one
+			// fewest other scans want.
+			bestRel := 0.0
+			for i, needed := range cs.need {
+				if !needed {
+					continue
+				}
+				c := cs.tm.chunks[i]
+				if !cs.abm.chunkCachedFor(cs, c) {
+					continue
+				}
+				rel := -float64(c.interest - 1)
+				if c.shared {
+					rel -= cs.abm.cfg.SharedBonus
+				}
+				if pick == nil || rel > bestRel {
+					pick, bestRel = c, rel
+				}
+			}
+		}
+		if pick != nil {
+			return cs.deliver(pick), true
+		}
+		cs.abm.work.Fire() // we are starved: let the scheduler know
+		cs.avail.Wait()
+	}
+}
+
+// deliver pins the scan's pages of the chunk and updates interest.
+func (cs *CScan) deliver(c *chunk) *Delivery {
+	d := &Delivery{cs: cs, Chunk: c.idx, Lo: c.lo(), Hi: c.hi()}
+	for _, col := range cs.sorted {
+		for _, pg := range cs.snap.PagesInRange(col, d.Lo, d.Hi) {
+			rp := cs.abm.resident[pg.ID]
+			if rp == nil {
+				panic("abm: delivering chunk with absent page")
+			}
+			rp.pins++
+			d.pages = append(d.pages, rp)
+		}
+	}
+	cs.need[c.idx] = false
+	cs.remaining--
+	c.interest--
+	if cs.inOrder {
+		cs.advanceNext()
+	}
+	cs.abm.stats.Deliveries++
+	cs.abm.pinnedDeliveries++
+	return d
+}
+
+func (cs *CScan) advanceNext() {
+	for cs.nextIdx < len(cs.need) && !cs.need[cs.nextIdx] {
+		cs.nextIdx++
+	}
+}
+
+// Release unpins the delivery's pages and wakes the scheduler (consumed
+// chunks may now be evictable).
+func (d *Delivery) Release() {
+	for _, rp := range d.pages {
+		if rp.pins <= 0 {
+			panic("abm: release without pin")
+		}
+		rp.pins--
+	}
+	d.pages = nil
+	d.cs.abm.pinnedDeliveries--
+	d.cs.abm.work.Fire()
+}
+
+// UnregisterCScan removes the scan; the paper's UnregisterCScan. Shared
+// marking is recomputed and table metadata of abandoned versions is
+// destroyed.
+func (cs *CScan) Unregister() {
+	tm := cs.tm
+	for i, needed := range cs.need {
+		if needed {
+			tm.chunks[i].interest--
+			cs.need[i] = false
+		}
+	}
+	cs.remaining = 0
+	for i, s := range tm.scans {
+		if s == cs {
+			tm.scans = append(tm.scans[:i], tm.scans[i+1:]...)
+			break
+		}
+	}
+	tm.remarkShared()
+	cs.abm.dropStaleVersions(tm.key.table, tm.key.table.Master().Version())
+	cs.abm.work.Fire()
+}
+
+// chunkCachedFor reports whether every page of the scan's columns in the
+// chunk's range is resident.
+func (a *ABM) chunkCachedFor(cs *CScan, c *chunk) bool {
+	lo, hi := c.lo(), c.hi()
+	// Clip to the scan's snapshot (it may be shorter than maxTuples).
+	if hi > cs.snap.NumTuples() {
+		hi = cs.snap.NumTuples()
+	}
+	if lo >= hi {
+		return false
+	}
+	for _, col := range cs.sorted {
+		for _, pg := range cs.snap.PagesInRange(col, lo, hi) {
+			if _, ok := a.resident[pg.ID]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// run is the ABM scheduler loop (the separate thread of §2).
+func (a *ABM) run() {
+	for {
+		if a.stopped {
+			return
+		}
+		cs := a.chooseQuery()
+		if cs == nil {
+			a.work.Wait()
+			continue
+		}
+		c := a.chooseChunk(cs)
+		if c == nil {
+			a.work.Wait()
+			continue
+		}
+		if !a.loadChunk(cs, c) {
+			a.stats.BlockedLoads++
+			a.work.Wait()
+		}
+	}
+}
+
+// chooseQuery implements QueryRelevance: prefer starved queries, then
+// shorter ones (fewest chunks remaining).
+func (a *ABM) chooseQuery() *CScan {
+	var best *CScan
+	bestStarved := false
+	bestRemaining := 0
+	for _, tm := range a.tabOrder {
+		for _, cs := range tm.scans {
+			if !a.hasLoadableChunk(cs) {
+				continue
+			}
+			starved := a.isStarved(cs)
+			if best == nil ||
+				(starved && !bestStarved) ||
+				(starved == bestStarved && cs.remaining < bestRemaining) {
+				best, bestStarved, bestRemaining = cs, starved, cs.remaining
+			}
+		}
+	}
+	return best
+}
+
+// isStarved reports whether the scan has no cached chunk ready to consume.
+func (a *ABM) isStarved(cs *CScan) bool {
+	if cs.remaining == 0 {
+		return false
+	}
+	if cs.inOrder {
+		return !a.chunkCachedFor(cs, cs.tm.chunks[cs.nextIdx])
+	}
+	for i, needed := range cs.need {
+		if needed && a.chunkCachedFor(cs, cs.tm.chunks[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasLoadableChunk reports whether any chunk of interest is neither
+// cached nor loading.
+func (a *ABM) hasLoadableChunk(cs *CScan) bool {
+	for i, needed := range cs.need {
+		if !needed {
+			continue
+		}
+		c := cs.tm.chunks[i]
+		if !c.loading && !a.chunkCachedFor(cs, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// chooseChunk implements LoadRelevance for the chosen query: the chunk
+// most concurrent scans are interested in, shared chunks boosted; for
+// in-order scans, their next pending chunk.
+func (a *ABM) chooseChunk(cs *CScan) *chunk {
+	if cs.inOrder {
+		for i := cs.nextIdx; i < len(cs.need); i++ {
+			if !cs.need[i] {
+				continue
+			}
+			c := cs.tm.chunks[i]
+			if !c.loading && !a.chunkCachedFor(cs, c) {
+				return c
+			}
+			if !a.chunkCachedFor(cs, c) {
+				return nil // next chunk is loading: nothing else helps
+			}
+		}
+		return nil
+	}
+	var best *chunk
+	bestRel := 0.0
+	for i, needed := range cs.need {
+		if !needed {
+			continue
+		}
+		c := cs.tm.chunks[i]
+		if c.loading || a.chunkCachedFor(cs, c) {
+			continue
+		}
+		rel := a.loadRelevance(c)
+		if best == nil || rel > bestRel {
+			best, bestRel = c, rel
+		}
+	}
+	return best
+}
+
+func (a *ABM) loadRelevance(c *chunk) float64 {
+	rel := float64(c.interest)
+	if c.shared {
+		rel += a.cfg.SharedBonus
+	}
+	return rel
+}
+
+// keepRelevance scores a cached chunk for retention: how many scans still
+// want it (shared chunks boosted). Chunks nobody wants score lowest.
+func (a *ABM) keepRelevance(c *chunk) float64 {
+	rel := float64(c.interest)
+	if c.shared {
+		rel += a.cfg.SharedBonus
+	}
+	return rel
+}
+
+// loadChunk loads every missing page of the chunk for the union of the
+// interested scans' columns, evicting lower-relevance chunks to make
+// room. It returns false when eviction cannot free enough space.
+func (a *ABM) loadChunk(cs *CScan, c *chunk) bool {
+	pages := a.missingPages(c)
+	if len(pages) == 0 {
+		a.wakeInterested(c.tm, c.idx, c.idx)
+		return true
+	}
+	var bytes int64
+	for _, pg := range pages {
+		bytes += pg.Bytes
+	}
+	if !a.makeRoom(bytes, a.loadRelevance(c), c, false) {
+		// Liveness safeguard: when no delivery is outstanding, every scan
+		// is blocked waiting for a load, so the keep-relevance guard must
+		// yield — evict the lowest scorer regardless and proceed.
+		if a.pinnedDeliveries > 0 || !a.makeRoom(bytes, a.loadRelevance(c), c, true) {
+			return false
+		}
+	}
+	c.loading = true
+	// Read block-contiguous stretches in single requests.
+	start := 0
+	for i := 1; i <= len(pages); i++ {
+		if i == len(pages) || pages[i].Block != pages[i-1].Block+1 {
+			var n int64
+			for _, pg := range pages[start:i] {
+				n += pg.Bytes
+			}
+			a.disk.Read(pages[start].Block, i-start, n)
+			start = i
+		}
+	}
+	// The loaded pages may complete residency for neighbouring chunks too
+	// (narrow-column pages span chunks), so the wake set covers every
+	// chunk the pages overlap.
+	loChunk, hiChunk := c.idx, c.idx
+	for _, pg := range pages {
+		rp := &residentPage{page: pg, owner: c}
+		a.resident[pg.ID] = rp
+		c.owned = append(c.owned, rp)
+		c.bytes += pg.Bytes
+		a.used += pg.Bytes
+		a.stats.BytesLoaded += pg.Bytes
+		if a.OnLoad != nil {
+			a.OnLoad(pg)
+		}
+		if first := int(pg.FirstSID / a.cfg.ChunkTuples); first < loChunk {
+			loChunk = first
+		}
+		if last := int((pg.LastSID() - 1) / a.cfg.ChunkTuples); last > hiChunk {
+			hiChunk = last
+		}
+	}
+	c.loading = false
+	a.stats.ChunksLoaded++
+	a.wakeInterested(c.tm, loChunk, hiChunk)
+	return true
+}
+
+// missingPages returns the absent pages of the chunk for the union of the
+// interested scans' columns and snapshots (beyond the shared prefix,
+// different snapshots map the same chunk to different pages), deduplicated
+// by page and sorted by block for sequential reads.
+func (a *ABM) missingPages(c *chunk) []*storage.Page {
+	seen := make(map[storage.PageID]bool)
+	var out []*storage.Page
+	lo, hi := c.lo(), c.hi()
+	for _, cs := range c.tm.scans {
+		if !cs.need[c.idx] {
+			continue
+		}
+		h := hi
+		if h > cs.snap.NumTuples() {
+			h = cs.snap.NumTuples()
+		}
+		for _, col := range cs.sorted {
+			for _, pg := range cs.snap.PagesInRange(col, lo, h) {
+				if seen[pg.ID] {
+					continue
+				}
+				seen[pg.ID] = true
+				if _, ok := a.resident[pg.ID]; !ok {
+					out = append(out, pg)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Block < out[j].Block })
+	return out
+}
+
+// wakeInterested wakes the scans interested in any chunk of tm within
+// [loChunk, hiChunk] — every chunk whose residency the completed load
+// may have changed. Pages of narrow columns span chunks, so one load can
+// make a *neighbouring* chunk fully resident for a scan that was never
+// interested in the loaded chunk itself; waking the precise overlap set
+// keeps those scans live without the thundering herd of waking everyone.
+func (a *ABM) wakeInterested(tm *tableMeta, loChunk, hiChunk int) {
+	if hiChunk >= len(tm.chunks) {
+		hiChunk = len(tm.chunks) - 1
+	}
+	if loChunk < 0 {
+		loChunk = 0
+	}
+	for _, cs := range tm.scans {
+		for i := loChunk; i <= hiChunk; i++ {
+			if cs.need[i] {
+				cs.avail.Fire()
+				break
+			}
+		}
+	}
+}
+
+// makeRoom evicts chunks with keepRelevance strictly below loadRel (the
+// paper's rule: evict the lowest scorer if it scores lower than the
+// pending load) until bytes fit. With force set the relevance guard is
+// waived (liveness safeguard), though pinned chunks are never evicted.
+func (a *ABM) makeRoom(bytes int64, loadRel float64, loading *chunk, force bool) bool {
+	for a.used+bytes > a.cfg.Capacity {
+		var victim *chunk
+		victimRel := 0.0
+		for _, tm := range a.tabOrder {
+			for _, c := range tm.chunks {
+				if c == loading || c.bytes == 0 || c.loading || a.chunkPinned(c) {
+					continue
+				}
+				rel := a.keepRelevance(c)
+				if victim == nil || rel < victimRel {
+					victim, victimRel = c, rel
+				}
+			}
+		}
+		if victim == nil || (!force && victimRel >= loadRel) {
+			return false
+		}
+		a.evictChunk(victim)
+	}
+	return true
+}
+
+func (a *ABM) chunkPinned(c *chunk) bool {
+	for _, rp := range c.owned {
+		if rp.pins > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// evictChunk drops the pages the chunk's loads brought in. Pages of
+// narrow columns span many chunks (§2's columnar complication); a page
+// still covered by another chunk with live interest is transferred to
+// that chunk's ownership instead of dropped, so evicting one chunk never
+// forces re-reads for neighbours that are still being consumed.
+func (a *ABM) evictChunk(c *chunk) {
+	for _, rp := range c.owned {
+		if rp.pins > 0 {
+			panic("abm: evicting pinned page")
+		}
+		if heir := a.interestedHeir(rp.page, c); heir != nil {
+			rp.owner = heir
+			heir.owned = append(heir.owned, rp)
+			heir.bytes += rp.page.Bytes
+			continue
+		}
+		delete(a.resident, rp.page.ID)
+		a.used -= rp.page.Bytes
+		a.stats.BytesEvicted += rp.page.Bytes
+	}
+	c.owned = nil
+	c.bytes = 0
+}
+
+// interestedHeir finds another chunk overlapping the page's tuple range
+// with strictly more interest than the evicted chunk. The strict
+// inequality guarantees pages only move up the retention order, so
+// repeated evictions terminate (no transfer cycles).
+func (a *ABM) interestedHeir(pg *storage.Page, c *chunk) *chunk {
+	tm := c.tm
+	first := int(pg.FirstSID / a.cfg.ChunkTuples)
+	last := int((pg.LastSID() - 1) / a.cfg.ChunkTuples)
+	if last >= len(tm.chunks) {
+		last = len(tm.chunks) - 1
+	}
+	for i := first; i <= last; i++ {
+		if i == c.idx || i < 0 {
+			continue
+		}
+		if tm.chunks[i].interest > c.interest {
+			return tm.chunks[i]
+		}
+	}
+	return nil
+}
+
+// SharedChunkCount reports how many chunks of the snapshot's table
+// version are currently marked shared (for tests).
+func (a *ABM) SharedChunkCount(snap *storage.Snapshot) int {
+	tm, ok := a.tables[tableKey{table: snap.Table(), version: snap.Version()}]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, c := range tm.chunks {
+		if c.shared {
+			n++
+		}
+	}
+	return n
+}

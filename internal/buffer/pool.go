@@ -1,0 +1,339 @@
+// Package buffer implements the traditional buffer manager of Figure 1:
+// a page cache in front of the simulated disk with a pluggable replacement
+// policy. Loading decisions are made by the scan operators that call Get;
+// the policy only decides what to evict — exactly the architecture PBM
+// slots into without disrupting (§3), in contrast to the Active Buffer
+// Manager of Cooperative Scans which takes over loading itself.
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/iosim"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Frame is a buffer slot holding one cached page.
+type Frame struct {
+	Page *storage.Page
+
+	pins    int
+	loading bool
+
+	// prev/next are intrusive list links owned by the replacement policy.
+	prev, next *Frame
+	// refbit is owned by the Clock policy.
+	refbit bool
+	// PolicyState is an opaque per-frame cookie owned by the policy (PBM
+	// stores its page metadata pointer here).
+	PolicyState any
+}
+
+// Pinned reports whether the frame is currently pinned by any user.
+func (f *Frame) Pinned() bool { return f.pins > 0 }
+
+// Loading reports whether the frame's page is still being read from disk.
+func (f *Frame) Loading() bool { return f.loading }
+
+// Policy is a replacement policy plugged into a Pool. The pool calls the
+// lifecycle hooks; Victim must return an unpinned, non-loading frame to
+// evict, or nil if none exists.
+type Policy interface {
+	Name() string
+	Admitted(f *Frame)
+	Accessed(f *Frame)
+	Removed(f *Frame)
+	Victim() *Frame
+}
+
+// Stats aggregates pool activity.
+type Stats struct {
+	Hits        int64
+	Misses      int64
+	BytesLoaded int64
+	Evictions   int64
+	// Stalls counts reservation waits: requests that had to wait for
+	// pinned or in-flight frames to become evictable.
+	Stalls int64
+}
+
+// Pool is a byte-budgeted page cache.
+type Pool struct {
+	eng      *sim.Engine
+	disk     *iosim.Disk
+	policy   Policy
+	capacity int64 // bytes
+	used     int64
+
+	frames   map[storage.PageID]*Frame
+	inFlight map[storage.PageID]*sim.Event
+	nLoading int
+	nPinned  int // frames with pins > 0
+
+	// freedQ holds one event per blocked reservation; each frame release
+	// (unpin or load completion) wakes exactly one waiter, avoiding a
+	// thundering herd when the pool is saturated with pinned frames.
+	freedQ []*sim.Event
+
+	stats Stats
+
+	// OnAccess, if non-nil, observes every logical page access (hit or
+	// miss) in request order; the OPT trace recorder hooks in here.
+	OnAccess func(p *storage.Page)
+}
+
+// NewPool creates a pool of the given byte capacity.
+func NewPool(eng *sim.Engine, disk *iosim.Disk, policy Policy, capacity int64) *Pool {
+	if capacity <= 0 {
+		panic("buffer: capacity must be positive")
+	}
+	return &Pool{
+		eng:      eng,
+		disk:     disk,
+		policy:   policy,
+		capacity: capacity,
+		frames:   make(map[storage.PageID]*Frame),
+		inFlight: make(map[storage.PageID]*sim.Event),
+	}
+}
+
+// wakeOneReserver releases the oldest blocked reservation, if any.
+func (p *Pool) wakeOneReserver() {
+	if len(p.freedQ) == 0 {
+		return
+	}
+	ev := p.freedQ[0]
+	p.freedQ = p.freedQ[1:]
+	ev.Fire()
+}
+
+// waitFreed blocks the caller until one frame release wakes it.
+func (p *Pool) waitFreed() {
+	ev := p.eng.NewEvent()
+	p.freedQ = append(p.freedQ, ev)
+	ev.Wait()
+}
+
+// Policy returns the pool's replacement policy.
+func (p *Pool) Policy() Policy { return p.policy }
+
+// Capacity returns the pool capacity in bytes.
+func (p *Pool) Capacity() int64 { return p.capacity }
+
+// Used returns the bytes currently cached (including in-flight loads).
+func (p *Pool) Used() int64 { return p.used }
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// Contains reports whether pg is resident (and fully loaded).
+func (p *Pool) Contains(pg *storage.Page) bool {
+	f, ok := p.frames[pg.ID]
+	return ok && !f.loading
+}
+
+// Get returns a pinned frame for pg, reading it from disk on a miss (which
+// blocks the calling process in virtual time). Concurrent requests for the
+// same missing page share a single disk read.
+func (p *Pool) Get(pg *storage.Page) *Frame {
+	return p.get(pg)
+}
+
+// GetRun returns a pinned frame for run[0] after ensuring every page of
+// run is resident, reading all missing pages in one sequential disk
+// request per contiguous block run. Scans use it for per-column read-ahead
+// so a single stream achieves sequential bandwidth. Pages run[1:] are
+// admitted unpinned and may be evicted again under pressure before use.
+func (p *Pool) GetRun(run []*storage.Page) *Frame {
+	if len(run) == 0 {
+		panic("buffer: empty run")
+	}
+	if len(run) > 1 {
+		p.loadRun(run[1:])
+	}
+	return p.get(run[0])
+}
+
+// loadRun admits the missing pages of run (unpinned), batching contiguous
+// missing stretches into single disk reads.
+func (p *Pool) loadRun(run []*storage.Page) {
+	var batch []*storage.Page
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		p.loadBatch(batch)
+		batch = nil
+	}
+	for _, pg := range run {
+		if _, ok := p.frames[pg.ID]; ok {
+			flush()
+			continue
+		}
+		if len(batch) > 0 && pg.Block != batch[len(batch)-1].Block+1 {
+			flush()
+		}
+		batch = append(batch, pg)
+	}
+	flush()
+}
+
+// loadBatch reads a block-contiguous batch of absent pages in one request.
+func (p *Pool) loadBatch(batch []*storage.Page) {
+	var bytes int64
+	for _, pg := range batch {
+		bytes += pg.Bytes
+	}
+	p.reserve(bytes)
+	// Re-check absence: the reservation may have yielded and another
+	// process may have started loading some of these pages meanwhile.
+	kept := batch[:0]
+	bytes = 0
+	var lastBlock iosim.BlockID
+	for _, pg := range batch {
+		if _, ok := p.frames[pg.ID]; ok {
+			continue
+		}
+		if len(kept) > 0 && pg.Block != lastBlock+1 {
+			break // contiguity broken; the next call picks the rest up
+		}
+		kept = append(kept, pg)
+		lastBlock = pg.Block
+		bytes += pg.Bytes
+	}
+	if len(kept) == 0 {
+		return
+	}
+	ev := p.eng.NewEvent()
+	frames := make([]*Frame, len(kept))
+	for i, pg := range kept {
+		f := &Frame{Page: pg, loading: true}
+		p.inFlight[pg.ID] = ev
+		p.frames[pg.ID] = f
+		p.used += pg.Bytes
+		frames[i] = f
+		p.nLoading++
+		p.stats.Misses++
+		p.stats.BytesLoaded += pg.Bytes
+		if p.OnAccess != nil {
+			p.OnAccess(pg)
+		}
+	}
+	p.disk.Read(kept[0].Block, len(kept), bytes)
+	for i, pg := range kept {
+		frames[i].loading = false
+		p.nLoading--
+		delete(p.inFlight, pg.ID)
+		p.policy.Admitted(frames[i])
+	}
+	ev.Fire()
+	p.wakeOneReserver()
+}
+
+func (p *Pool) get(pg *storage.Page) *Frame {
+	for {
+		if f, ok := p.frames[pg.ID]; ok {
+			if f.loading {
+				p.inFlight[pg.ID].Wait()
+				continue // re-check: the frame may have been re-evicted
+			}
+			p.pin(f)
+			p.stats.Hits++
+			if p.OnAccess != nil {
+				p.OnAccess(pg)
+			}
+			p.policy.Accessed(f)
+			return f
+		}
+		p.reserve(pg.Bytes)
+		// reserve may yield: another process may have admitted the page.
+		if _, ok := p.frames[pg.ID]; ok {
+			continue
+		}
+		break
+	}
+
+	// Miss: this process performs the read.
+	ev := p.eng.NewEvent()
+	f := &Frame{Page: pg, loading: true}
+	p.pin(f)
+	p.inFlight[pg.ID] = ev
+	p.frames[pg.ID] = f
+	p.used += pg.Bytes
+	p.nLoading++
+	p.stats.Misses++
+	p.stats.BytesLoaded += pg.Bytes
+	if p.OnAccess != nil {
+		p.OnAccess(pg)
+	}
+	p.disk.Read(pg.Block, 1, pg.Bytes)
+	f.loading = false
+	p.nLoading--
+	delete(p.inFlight, pg.ID)
+	p.policy.Admitted(f)
+	ev.Fire()
+	p.wakeOneReserver()
+	return f
+}
+
+// reserve evicts victims until bytes fit within capacity, waiting (in
+// virtual time) for pinned or in-flight frames to become evictable when
+// the policy has no victim to offer. It panics only when blocking cannot
+// help: a request larger than the pool, or nothing pinned or loading.
+func (p *Pool) reserve(bytes int64) {
+	if bytes > p.capacity {
+		panic(fmt.Sprintf("buffer: request of %d bytes exceeds pool capacity %d", bytes, p.capacity))
+	}
+	for p.used+bytes > p.capacity {
+		v := p.policy.Victim()
+		if v != nil {
+			if v.Pinned() || v.Loading() {
+				panic("buffer: policy returned pinned or loading victim")
+			}
+			delete(p.frames, v.Page.ID)
+			p.used -= v.Page.Bytes
+			p.stats.Evictions++
+			p.policy.Removed(v)
+			continue
+		}
+		if p.nPinned == 0 && p.nLoading == 0 {
+			panic(fmt.Sprintf("buffer: pool overcommitted: %d/%d bytes with nothing pinned or loading", p.used, p.capacity))
+		}
+		p.stats.Stalls++
+		p.waitFreed()
+	}
+}
+
+func (p *Pool) pin(f *Frame) {
+	if f.pins == 0 {
+		p.nPinned++
+	}
+	f.pins++
+}
+
+// Unpin releases one pin on f.
+func (p *Pool) Unpin(f *Frame) {
+	if f.pins <= 0 {
+		panic("buffer: Unpin without pin")
+	}
+	f.pins--
+	if f.pins == 0 {
+		p.nPinned--
+		p.wakeOneReserver()
+	}
+}
+
+// FlushAll drops every unpinned resident page (used between experiment
+// phases to cold-start the cache).
+func (p *Pool) FlushAll() {
+	for id, f := range p.frames {
+		if f.Pinned() || f.Loading() {
+			continue
+		}
+		delete(p.frames, id)
+		p.used -= f.Page.Bytes
+		p.policy.Removed(f)
+	}
+	p.wakeOneReserver()
+}

@@ -1,0 +1,304 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/iosim"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// makePages builds a single-column table with n pages of 8-byte tuples and
+// returns its pages.
+func makePages(t testing.TB, n int) []*storage.Page {
+	t.Helper()
+	cat := storage.NewCatalog()
+	tb, err := cat.CreateTable("t", storage.Schema{{Name: "a", Type: storage.Int64, Width: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPage := storage.PageSize / 8
+	data := storage.NewColumnData()
+	vals := make([]int64, n*perPage)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	data.I64[0] = vals
+	s, err := tb.Master().Append(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Pages(0)
+}
+
+func poolFixture(t testing.TB, policy Policy, capPages int, nPages int) (*sim.Engine, *Pool, []*storage.Page) {
+	t.Helper()
+	eng := sim.NewEngine()
+	disk := iosim.New(eng, iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
+	pool := NewPool(eng, disk, policy, int64(capPages)*storage.PageSize)
+	return eng, pool, makePages(t, nPages)
+}
+
+func TestHitAndMiss(t *testing.T) {
+	eng, pool, pages := poolFixture(t, NewLRU(), 4, 8)
+	eng.Go("q", func() {
+		f := pool.Get(pages[0])
+		pool.Unpin(f)
+		f = pool.Get(pages[0])
+		pool.Unpin(f)
+	})
+	eng.Run()
+	s := pool.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss 1 hit", s)
+	}
+	if s.BytesLoaded != storage.PageSize {
+		t.Fatalf("bytes loaded = %d", s.BytesLoaded)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	eng, pool, pages := poolFixture(t, NewLRU(), 4, 16)
+	eng.Go("q", func() {
+		for _, pg := range pages {
+			f := pool.Get(pg)
+			if pool.Used() > pool.Capacity() {
+				t.Errorf("used %d exceeds capacity %d", pool.Used(), pool.Capacity())
+			}
+			pool.Unpin(f)
+		}
+	})
+	eng.Run()
+	if pool.Stats().Evictions != 12 {
+		t.Fatalf("evictions = %d, want 12", pool.Stats().Evictions)
+	}
+}
+
+func TestLRUEvictsColdest(t *testing.T) {
+	eng, pool, pages := poolFixture(t, NewLRU(), 3, 8)
+	eng.Go("q", func() {
+		for i := 0; i < 3; i++ {
+			pool.Unpin(pool.Get(pages[i]))
+		}
+		pool.Unpin(pool.Get(pages[0])) // touch 0: now 1 is coldest
+		pool.Unpin(pool.Get(pages[3])) // evicts 1
+		if !pool.Contains(pages[0]) || pool.Contains(pages[1]) {
+			t.Error("LRU evicted the wrong page")
+		}
+	})
+	eng.Run()
+}
+
+func TestMRUEvictsHottest(t *testing.T) {
+	eng, pool, pages := poolFixture(t, NewMRU(), 3, 8)
+	eng.Go("q", func() {
+		for i := 0; i < 3; i++ {
+			pool.Unpin(pool.Get(pages[i]))
+		}
+		pool.Unpin(pool.Get(pages[3])) // evicts page 2 (the hottest)
+		if pool.Contains(pages[2]) || !pool.Contains(pages[0]) {
+			t.Error("MRU evicted the wrong page")
+		}
+	})
+	eng.Run()
+}
+
+func TestClockSecondChance(t *testing.T) {
+	eng, pool, pages := poolFixture(t, NewClock(), 3, 8)
+	eng.Go("q", func() {
+		for i := 0; i < 3; i++ {
+			pool.Unpin(pool.Get(pages[i]))
+		}
+		// All refbits set; a fill sweep clears them and evicts page 0.
+		pool.Unpin(pool.Get(pages[3]))
+		if pool.Contains(pages[0]) {
+			t.Error("clock did not evict page 0")
+		}
+	})
+	eng.Run()
+}
+
+func TestPinnedNeverEvicted(t *testing.T) {
+	eng, pool, pages := poolFixture(t, NewLRU(), 3, 8)
+	eng.Go("q", func() {
+		f0 := pool.Get(pages[0])
+		pool.Unpin(pool.Get(pages[1]))
+		pool.Unpin(pool.Get(pages[2]))
+		pool.Unpin(pool.Get(pages[3])) // must evict 1, not pinned 0
+		if !pool.Contains(pages[0]) {
+			t.Error("pinned page evicted")
+		}
+		pool.Unpin(f0)
+	})
+	eng.Run()
+}
+
+func TestOvercommitPanics(t *testing.T) {
+	eng, pool, pages := poolFixture(t, NewLRU(), 2, 8)
+	panicked := false
+	eng.Go("q", func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		_ = pool.Get(pages[0])
+		_ = pool.Get(pages[1])
+		_ = pool.Get(pages[2]) // three pins, capacity two
+	})
+	eng.Run()
+	if !panicked {
+		t.Fatal("expected overcommit panic")
+	}
+}
+
+func TestConcurrentMissSharesOneRead(t *testing.T) {
+	eng, pool, pages := poolFixture(t, NewLRU(), 4, 8)
+	done := 0
+	for i := 0; i < 5; i++ {
+		eng.Go("q", func() {
+			f := pool.Get(pages[0])
+			pool.Unpin(f)
+			done++
+		})
+	}
+	eng.Run()
+	if done != 5 {
+		t.Fatalf("done = %d", done)
+	}
+	s := pool.Stats()
+	if s.Misses != 1 || s.Hits != 4 {
+		t.Fatalf("stats = %+v, want 1 miss 4 hits", s)
+	}
+}
+
+func TestGetRunBatchesIO(t *testing.T) {
+	eng, pool, pages := poolFixture(t, NewLRU(), 8, 8)
+	eng.Go("q", func() {
+		f := pool.GetRun(pages[:4])
+		pool.Unpin(f)
+		for i := 1; i < 4; i++ {
+			if !pool.Contains(pages[i]) {
+				t.Errorf("page %d not admitted by GetRun", i)
+			}
+		}
+	})
+	eng.Run()
+	// 3 pages in one batched read plus the pinned head page read: at most
+	// 2 disk requests.
+	if got := pool.Stats().Misses; got != 4 {
+		t.Fatalf("misses = %d, want 4", got)
+	}
+}
+
+func TestUnpinWithoutPinPanics(t *testing.T) {
+	eng, pool, pages := poolFixture(t, NewLRU(), 4, 8)
+	panicked := false
+	eng.Go("q", func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		f := pool.Get(pages[0])
+		pool.Unpin(f)
+		pool.Unpin(f)
+	})
+	eng.Run()
+	if !panicked {
+		t.Fatal("expected panic")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	eng, pool, pages := poolFixture(t, NewLRU(), 4, 8)
+	eng.Go("q", func() {
+		pool.Unpin(pool.Get(pages[0]))
+		f := pool.Get(pages[1])
+		pool.FlushAll()
+		if pool.Contains(pages[0]) {
+			t.Error("unpinned page survived flush")
+		}
+		if !pool.Contains(pages[1]) {
+			t.Error("pinned page flushed")
+		}
+		pool.Unpin(f)
+	})
+	eng.Run()
+}
+
+func TestOnAccessSeesEveryReference(t *testing.T) {
+	eng, pool, pages := poolFixture(t, NewLRU(), 4, 8)
+	var refs []storage.PageID
+	pool.OnAccess = func(p *storage.Page) { refs = append(refs, p.ID) }
+	eng.Go("q", func() {
+		pool.Unpin(pool.Get(pages[0]))
+		pool.Unpin(pool.Get(pages[0]))
+		pool.Unpin(pool.Get(pages[1]))
+	})
+	eng.Run()
+	if len(refs) != 3 {
+		t.Fatalf("refs = %v", refs)
+	}
+}
+
+// Property: under any access pattern, LRU keeps the pool within capacity
+// and never evicts the most recently touched page.
+func TestPropertyLRUInvariant(t *testing.T) {
+	f := func(accesses []uint8) bool {
+		if len(accesses) == 0 {
+			return true
+		}
+		eng, pool, pages := poolFixture(t, NewLRU(), 4, 16)
+		ok := true
+		eng.Go("q", func() {
+			for _, a := range accesses {
+				pg := pages[int(a)%len(pages)]
+				fr := pool.Get(pg)
+				pool.Unpin(fr)
+				if pool.Used() > pool.Capacity() {
+					ok = false
+				}
+				if !pool.Contains(pg) {
+					ok = false // the page we just touched must be resident
+				}
+			}
+		})
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hits + misses equals total accesses for every policy.
+func TestPropertyAccountingBalances(t *testing.T) {
+	policies := []func() Policy{
+		func() Policy { return NewLRU() },
+		func() Policy { return NewMRU() },
+		func() Policy { return NewClock() },
+	}
+	for _, mk := range policies {
+		mk := mk
+		f := func(accesses []uint8) bool {
+			if len(accesses) == 0 {
+				return true
+			}
+			eng, pool, pages := poolFixture(t, mk(), 4, 16)
+			eng.Go("q", func() {
+				for _, a := range accesses {
+					pool.Unpin(pool.Get(pages[int(a)%len(pages)]))
+				}
+			})
+			eng.Run()
+			s := pool.Stats()
+			return s.Hits+s.Misses == int64(len(accesses))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("%s: %v", mk().Name(), err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package exec
+
+import (
+	"repro/internal/pdt"
+	"repro/internal/storage"
+)
+
+// AttachScan implements the classic "circular scan"/attach policy that
+// §1 and §6 of the paper describe as the industry's first response to
+// concurrent scans (Microsoft SQLServer's circular scans, RedBrick):
+// an incoming full scan attaches to the position of an already ongoing
+// scan over the same table, consumes to the end, and wraps around to
+// cover the part it skipped. That maximizes shared locality without any
+// buffer-manager changes, but — unlike Cooperative Scans — it cannot
+// reorder around cached regions, cannot serve range scans, and produces
+// out-of-order output.
+//
+// A small per-table registry (AttachRegistry) tracks active scan
+// positions; it is deliberately dumb, matching the lineage.
+type AttachScan struct {
+	Ctx  *Ctx
+	Snap *storage.Snapshot
+	Cols []int
+	// PDT is the flattened delta layer; nil means RID == SID.
+	PDT *pdt.PDT
+	// Registry coordinates attachment across concurrent scans of the
+	// same table.
+	Registry *AttachRegistry
+
+	start  int64 // SID the scan attached at
+	inner  *Scan
+	phase  int // 0 = [start,end), 1 = [0,start), 2 = done
+	opened bool
+	handle *attachHandle
+}
+
+// AttachRegistry tracks the positions of active attach scans per table
+// version so newcomers can attach to the furthest-along scan.
+type AttachRegistry struct {
+	active map[*storage.Snapshot][]*attachHandle
+}
+
+type attachHandle struct {
+	pos int64
+}
+
+// NewAttachRegistry creates an empty registry.
+func NewAttachRegistry() *AttachRegistry {
+	return &AttachRegistry{active: make(map[*storage.Snapshot][]*attachHandle)}
+}
+
+// attach picks the most advanced active scan's position (or 0) and
+// registers a new handle there.
+func (r *AttachRegistry) attach(snap *storage.Snapshot) *attachHandle {
+	best := int64(0)
+	for _, h := range r.active[snap] {
+		if h.pos > best {
+			best = h.pos
+		}
+	}
+	h := &attachHandle{pos: best}
+	r.active[snap] = append(r.active[snap], h)
+	return h
+}
+
+func (r *AttachRegistry) detach(snap *storage.Snapshot, h *attachHandle) {
+	hs := r.active[snap]
+	for i, x := range hs {
+		if x == h {
+			r.active[snap] = append(hs[:i], hs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Schema implements Operator.
+func (s *AttachScan) Schema() []storage.ColumnType {
+	out := make([]storage.ColumnType, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = s.Snap.Table().Schema[c].Type
+	}
+	return out
+}
+
+// Open implements Operator: attach at the furthest active position.
+func (s *AttachScan) Open() {
+	if s.opened {
+		panic("exec: AttachScan reopened")
+	}
+	s.opened = true
+	if s.Registry == nil {
+		panic("exec: AttachScan requires a registry")
+	}
+	s.handle = s.Registry.attach(s.Snap)
+	s.start = s.handle.pos
+	s.inner = s.segmentScan(s.start, s.Snap.NumTuples())
+	if s.inner != nil {
+		s.inner.Open()
+	} else {
+		s.phase = 1
+		s.openWrap()
+	}
+}
+
+func (s *AttachScan) openWrap() {
+	s.inner = s.segmentScan(0, s.start)
+	if s.inner != nil {
+		s.inner.Open()
+	} else {
+		s.phase = 2
+	}
+}
+
+// segmentScan builds an in-order scan of SIDs [lo,hi), translated
+// through the PDT like CScan chunks (SIDtoRIDlow tiling).
+func (s *AttachScan) segmentScan(lo, hi int64) *Scan {
+	if lo >= hi {
+		return nil
+	}
+	rLo, rHi := lo, hi
+	if s.PDT != nil {
+		rLo = s.PDT.SIDtoRIDlow(lo)
+		rHi = s.PDT.SIDtoRIDlow(hi)
+	}
+	if rLo >= rHi {
+		return nil
+	}
+	return &Scan{Ctx: s.Ctx, Snap: s.Snap, Cols: s.Cols, Ranges: []RIDRange{{Lo: rLo, Hi: rHi}}, PDT: s.PDT}
+}
+
+// Next implements Operator.
+func (s *AttachScan) Next() *Batch {
+	for {
+		if s.phase == 2 || s.inner == nil {
+			return nil
+		}
+		b := s.inner.Next()
+		if b != nil {
+			// Track position for newcomers: consumed stable tuples map
+			// to a SID cursor (approximate under deltas, exact without).
+			if s.phase == 0 {
+				s.handle.pos = s.start + s.inner.consumed
+			}
+			return b
+		}
+		s.inner.Close()
+		s.inner = nil
+		if s.phase == 0 {
+			s.phase = 1
+			s.openWrap()
+			continue
+		}
+		s.phase = 2
+	}
+}
+
+// Close implements Operator.
+func (s *AttachScan) Close() {
+	if s.inner != nil {
+		s.inner.Close()
+		s.inner = nil
+	}
+	if s.handle != nil {
+		s.Registry.detach(s.Snap, s.handle)
+		s.handle = nil
+	}
+}
+
+var _ Operator = (*AttachScan)(nil)

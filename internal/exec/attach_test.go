@@ -1,0 +1,159 @@
+package exec
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/iosim"
+	"repro/internal/pdt"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func TestAttachScanAloneCoversTable(t *testing.T) {
+	e := newEnv(t, 9000, false)
+	reg := NewAttachRegistry()
+	e.run(func() {
+		res := Collect(&AttachScan{Ctx: e.ctx, Snap: e.snap, Cols: []int{0}, Registry: reg})
+		if res.N != 9000 {
+			t.Errorf("N = %d", res.N)
+		}
+		// A lone scan starts at 0: output is in order.
+		for i := 0; i < res.N; i++ {
+			if res.Vecs[0].I64[i] != int64(i) {
+				t.Errorf("order broken at %d", i)
+				break
+			}
+		}
+	})
+}
+
+func TestAttachScanWrapsAround(t *testing.T) {
+	e := newEnv(t, 10000, false)
+	reg := NewAttachRegistry()
+	e.run(func() {
+		wg := e.eng.NewWaitGroup()
+		wg.Add(2)
+		var second []int64
+		e.eng.Go("first", func() {
+			defer wg.Done()
+			op := &AttachScan{Ctx: e.ctx, Snap: e.snap, Cols: []int{0}, Registry: reg}
+			op.Open()
+			for b := op.Next(); b != nil; b = op.Next() {
+				e.eng.Sleep(time.Millisecond)
+			}
+			op.Close()
+		})
+		e.eng.Go("second", func() {
+			defer wg.Done()
+			e.eng.Sleep(3 * time.Millisecond) // arrive mid-scan
+			op := &AttachScan{Ctx: e.ctx, Snap: e.snap, Cols: []int{0}, Registry: reg}
+			op.Open()
+			for b := op.Next(); b != nil; b = op.Next() {
+				second = append(second, b.Vecs[0].I64...)
+			}
+			op.Close()
+		})
+		wg.Wait()
+		if len(second) != 10000 {
+			t.Fatalf("second scan rows = %d", len(second))
+		}
+		// The second scan attached mid-table: it does not start at 0 but
+		// still covers every tuple exactly once.
+		if second[0] == 0 {
+			t.Error("second scan did not attach (started at 0)")
+		}
+		sorted := append([]int64{}, second...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i, v := range sorted {
+			if v != int64(i) {
+				t.Fatalf("coverage broken at %d: %d", i, v)
+			}
+		}
+	})
+}
+
+// TestAttachScanSharesIO: two attached scans over a pool smaller than
+// the table do much less I/O than two independent LRU scans.
+func TestAttachScanSharesIO(t *testing.T) {
+	run := func(attach bool) int64 {
+		eng := sim.NewEngine()
+		disk := iosim.New(eng, iosim.Config{Bandwidth: 150e6, SeekLatency: 20 * time.Microsecond})
+		cat := storage.NewCatalog()
+		tb, _ := cat.CreateTable("t", storage.Schema{{Name: "a", Type: storage.Int64, Width: 8}})
+		d := storage.NewColumnData()
+		d.I64[0] = make([]int64, 200_000)
+		snap, _ := tb.Master().Append(d)
+		pool := buffer.NewPool(eng, disk, buffer.NewLRU(), snap.TotalBytes(nil)/4)
+		ctx := &Ctx{Eng: eng, Pool: pool, ReadAheadTuples: 8192}
+		reg := NewAttachRegistry()
+		wg := eng.NewWaitGroup()
+		scan := func(delay sim.Duration) {
+			defer wg.Done()
+			eng.Sleep(delay)
+			var op Operator
+			if attach {
+				op = &AttachScan{Ctx: ctx, Snap: snap, Cols: []int{0}, Registry: reg}
+			} else {
+				op = &Scan{Ctx: ctx, Snap: snap, Cols: []int{0}, Ranges: []RIDRange{{Lo: 0, Hi: 200_000}}}
+			}
+			op.Open()
+			for b := op.Next(); b != nil; b = op.Next() {
+				eng.Sleep(100 * time.Microsecond)
+			}
+			op.Close()
+		}
+		wg.Add(2)
+		eng.Go("s1", func() { scan(0) })
+		// The second scan trails beyond the LRU window (pool = 1/4 of the
+		// table), so independent scans re-read everything while attaching
+		// shares the leader's I/O for the rest of the table.
+		eng.Go("s2", func() { scan(12 * time.Millisecond) })
+		eng.Go("driver", func() { wg.Wait() })
+		eng.Run()
+		return pool.Stats().BytesLoaded
+	}
+	independent := run(false)
+	attached := run(true)
+	if attached >= independent {
+		t.Fatalf("attach I/O %d >= independent I/O %d", attached, independent)
+	}
+}
+
+func TestAttachScanWithPDT(t *testing.T) {
+	e := newEnv(t, 6000, false)
+	reg := NewAttachRegistry()
+	p := pdt.New(e.snap.Table().Schema, 6000)
+	p.DeleteAt(17)
+	p.InsertAt(40, pdt.Row{pdt.IntVal(-2), pdt.FloatVal(0), pdt.StrVal("Y")})
+	e.run(func() {
+		res := Collect(&AttachScan{Ctx: e.ctx, Snap: e.snap, Cols: []int{0}, Registry: reg, PDT: p})
+		if int64(res.N) != p.NumTuples() {
+			t.Fatalf("N = %d, want %d", res.N, p.NumTuples())
+		}
+		got := append([]int64{}, res.Vecs[0].I64...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if got[0] != -2 {
+			t.Error("insert missing")
+		}
+	})
+}
+
+func TestAttachScanRequiresRegistry(t *testing.T) {
+	e := newEnv(t, 100, false)
+	panicked := false
+	e.run(func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		op := &AttachScan{Ctx: e.ctx, Snap: e.snap, Cols: []int{0}}
+		op.Open()
+	})
+	if !panicked {
+		t.Fatal("expected panic")
+	}
+}

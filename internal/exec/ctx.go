@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"repro/internal/abm"
+	"repro/internal/buffer"
+	"repro/internal/pbm"
+	"repro/internal/sim"
+)
+
+// CPU models a fixed number of cores: operators charge work bursts that
+// occupy one core for their duration, so more simulated threads than
+// cores contend, producing the CPU-bound plateaus of the paper's
+// high-bandwidth configurations.
+type CPU struct {
+	eng *sim.Engine
+	res *sim.Resource
+}
+
+// NewCPU creates a CPU with the given core count.
+func NewCPU(eng *sim.Engine, cores int) *CPU {
+	return &CPU{eng: eng, res: eng.NewResource(cores)}
+}
+
+// Work occupies one core for d of virtual time.
+func (c *CPU) Work(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.res.Acquire()
+	c.eng.Sleep(d)
+	c.res.Release()
+}
+
+// Ctx carries the execution environment shared by a plan's operators.
+type Ctx struct {
+	Eng *sim.Engine
+	// CPU is the core model; nil disables CPU cost.
+	CPU *CPU
+	// PerTupleCPU is the virtual CPU cost charged per tuple produced by a
+	// scan (the dominant cost in the modeled workloads).
+	PerTupleCPU sim.Duration
+	// Pool is the traditional buffer pool used by Scan operators.
+	Pool *buffer.Pool
+	// PBM, when non-nil, is the Pool's policy and scans register with it.
+	PBM *pbm.PBM
+	// ABM, when non-nil, serves CScan operators.
+	ABM *abm.ABM
+	// ReadAheadTuples is the per-column read-ahead window of the Scan
+	// operator, in tuples.
+	ReadAheadTuples int64
+}
+
+// work charges d against the context's CPU model, if any.
+func (c *Ctx) work(d sim.Duration) {
+	if c.CPU != nil {
+		c.CPU.Work(d)
+	}
+}

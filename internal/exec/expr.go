@@ -1,0 +1,391 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// Expr is a vectorized expression over an input batch. Boolean results
+// are Int64 vectors of 0/1.
+type Expr interface {
+	Type() storage.ColumnType
+	// Eval computes the expression over b into out (reset by the callee).
+	Eval(b *Batch, out *Vec)
+}
+
+// Col references input column i.
+type Col struct {
+	Idx int
+	T   storage.ColumnType
+}
+
+// Type implements Expr.
+func (c Col) Type() storage.ColumnType { return c.T }
+
+// Eval implements Expr.
+func (c Col) Eval(b *Batch, out *Vec) {
+	src := b.Vecs[c.Idx]
+	typeCheck(c.T, src.T, "column ref")
+	out.Reset()
+	out.T = c.T
+	switch c.T {
+	case storage.Int64:
+		out.I64 = append(out.I64, src.I64...)
+	case storage.Float64:
+		out.F64 = append(out.F64, src.F64...)
+	case storage.String:
+		out.Str = append(out.Str, src.Str...)
+	}
+}
+
+// ConstI is an int64 literal.
+type ConstI int64
+
+// Type implements Expr.
+func (ConstI) Type() storage.ColumnType { return storage.Int64 }
+
+// Eval implements Expr.
+func (c ConstI) Eval(b *Batch, out *Vec) {
+	out.Reset()
+	out.T = storage.Int64
+	for i := 0; i < b.N; i++ {
+		out.I64 = append(out.I64, int64(c))
+	}
+}
+
+// ConstF is a float64 literal.
+type ConstF float64
+
+// Type implements Expr.
+func (ConstF) Type() storage.ColumnType { return storage.Float64 }
+
+// Eval implements Expr.
+func (c ConstF) Eval(b *Batch, out *Vec) {
+	out.Reset()
+	out.T = storage.Float64
+	for i := 0; i < b.N; i++ {
+		out.F64 = append(out.F64, float64(c))
+	}
+}
+
+// Arith is one of "+", "-", "*", "/" over numeric operands of equal type.
+type Arith struct {
+	Op   string
+	L, R Expr
+	l, r Vec
+}
+
+// NewArith builds an arithmetic node.
+func NewArith(op string, l, r Expr) *Arith {
+	if l.Type() != r.Type() || l.Type() == storage.String {
+		panic(fmt.Sprintf("exec: arith %q over %v/%v", op, l.Type(), r.Type()))
+	}
+	return &Arith{Op: op, L: l, R: r}
+}
+
+// Type implements Expr.
+func (a *Arith) Type() storage.ColumnType { return a.L.Type() }
+
+// Eval implements Expr.
+func (a *Arith) Eval(b *Batch, out *Vec) {
+	a.L.Eval(b, &a.l)
+	a.R.Eval(b, &a.r)
+	out.Reset()
+	out.T = a.Type()
+	switch a.Type() {
+	case storage.Int64:
+		for i := range a.l.I64 {
+			var v int64
+			switch a.Op {
+			case "+":
+				v = a.l.I64[i] + a.r.I64[i]
+			case "-":
+				v = a.l.I64[i] - a.r.I64[i]
+			case "*":
+				v = a.l.I64[i] * a.r.I64[i]
+			case "/":
+				v = a.l.I64[i] / a.r.I64[i]
+			default:
+				panic("exec: bad arith op " + a.Op)
+			}
+			out.I64 = append(out.I64, v)
+		}
+	case storage.Float64:
+		for i := range a.l.F64 {
+			var v float64
+			switch a.Op {
+			case "+":
+				v = a.l.F64[i] + a.r.F64[i]
+			case "-":
+				v = a.l.F64[i] - a.r.F64[i]
+			case "*":
+				v = a.l.F64[i] * a.r.F64[i]
+			case "/":
+				v = a.l.F64[i] / a.r.F64[i]
+			default:
+				panic("exec: bad arith op " + a.Op)
+			}
+			out.F64 = append(out.F64, v)
+		}
+	}
+}
+
+// Cmp compares two operands with one of "<", "<=", "==", "!=", ">=", ">",
+// yielding 0/1 int64.
+type Cmp struct {
+	Op   string
+	L, R Expr
+	l, r Vec
+}
+
+// NewCmp builds a comparison node.
+func NewCmp(op string, l, r Expr) *Cmp {
+	if l.Type() != r.Type() {
+		panic(fmt.Sprintf("exec: cmp %q over %v/%v", op, l.Type(), r.Type()))
+	}
+	return &Cmp{Op: op, L: l, R: r}
+}
+
+// Type implements Expr.
+func (*Cmp) Type() storage.ColumnType { return storage.Int64 }
+
+// Eval implements Expr.
+func (c *Cmp) Eval(b *Batch, out *Vec) {
+	c.L.Eval(b, &c.l)
+	c.R.Eval(b, &c.r)
+	out.Reset()
+	out.T = storage.Int64
+	n := c.l.Len()
+	for i := 0; i < n; i++ {
+		var cm int
+		switch c.l.T {
+		case storage.Int64:
+			cm = cmpOrdered(c.l.I64[i], c.r.I64[i])
+		case storage.Float64:
+			cm = cmpOrdered(c.l.F64[i], c.r.F64[i])
+		case storage.String:
+			cm = strings.Compare(c.l.Str[i], c.r.Str[i])
+		}
+		ok := false
+		switch c.Op {
+		case "<":
+			ok = cm < 0
+		case "<=":
+			ok = cm <= 0
+		case "==":
+			ok = cm == 0
+		case "!=":
+			ok = cm != 0
+		case ">=":
+			ok = cm >= 0
+		case ">":
+			ok = cm > 0
+		default:
+			panic("exec: bad cmp op " + c.Op)
+		}
+		if ok {
+			out.I64 = append(out.I64, 1)
+		} else {
+			out.I64 = append(out.I64, 0)
+		}
+	}
+}
+
+func cmpOrdered[T int64 | float64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// And is a boolean conjunction of any number of 0/1 int64 operands.
+type And struct {
+	Kids []Expr
+	tmp  Vec
+}
+
+// NewAnd builds a conjunction.
+func NewAnd(kids ...Expr) *And {
+	for _, k := range kids {
+		typeCheck(storage.Int64, k.Type(), "and operand")
+	}
+	return &And{Kids: kids}
+}
+
+// Type implements Expr.
+func (*And) Type() storage.ColumnType { return storage.Int64 }
+
+// Eval implements Expr.
+func (a *And) Eval(b *Batch, out *Vec) {
+	out.Reset()
+	out.T = storage.Int64
+	for i := 0; i < b.N; i++ {
+		out.I64 = append(out.I64, 1)
+	}
+	for _, k := range a.Kids {
+		k.Eval(b, &a.tmp)
+		for i := range out.I64 {
+			if a.tmp.I64[i] == 0 {
+				out.I64[i] = 0
+			}
+		}
+	}
+}
+
+// Or is a boolean disjunction.
+type Or struct {
+	Kids []Expr
+	tmp  Vec
+}
+
+// NewOr builds a disjunction.
+func NewOr(kids ...Expr) *Or {
+	for _, k := range kids {
+		typeCheck(storage.Int64, k.Type(), "or operand")
+	}
+	return &Or{Kids: kids}
+}
+
+// Type implements Expr.
+func (*Or) Type() storage.ColumnType { return storage.Int64 }
+
+// Eval implements Expr.
+func (o *Or) Eval(b *Batch, out *Vec) {
+	out.Reset()
+	out.T = storage.Int64
+	for i := 0; i < b.N; i++ {
+		out.I64 = append(out.I64, 0)
+	}
+	for _, k := range o.Kids {
+		k.Eval(b, &o.tmp)
+		for i := range out.I64 {
+			if o.tmp.I64[i] != 0 {
+				out.I64[i] = 1
+			}
+		}
+	}
+}
+
+// StrEq tests string column equality against a constant.
+type StrEq struct {
+	Col int
+	Val string
+}
+
+// Type implements Expr.
+func (StrEq) Type() storage.ColumnType { return storage.Int64 }
+
+// Eval implements Expr.
+func (s StrEq) Eval(b *Batch, out *Vec) {
+	out.Reset()
+	out.T = storage.Int64
+	for _, v := range b.Vecs[s.Col].Str {
+		if v == s.Val {
+			out.I64 = append(out.I64, 1)
+		} else {
+			out.I64 = append(out.I64, 0)
+		}
+	}
+}
+
+// StrPrefix tests whether a string column starts with a constant prefix
+// (stand-in for TPC-H LIKE 'x%' predicates).
+type StrPrefix struct {
+	Col    int
+	Prefix string
+}
+
+// Type implements Expr.
+func (StrPrefix) Type() storage.ColumnType { return storage.Int64 }
+
+// Eval implements Expr.
+func (s StrPrefix) Eval(b *Batch, out *Vec) {
+	out.Reset()
+	out.T = storage.Int64
+	for _, v := range b.Vecs[s.Col].Str {
+		if strings.HasPrefix(v, s.Prefix) {
+			out.I64 = append(out.I64, 1)
+		} else {
+			out.I64 = append(out.I64, 0)
+		}
+	}
+}
+
+// StrContains tests substring containment (stand-in for LIKE '%x%').
+type StrContains struct {
+	Col int
+	Sub string
+}
+
+// Type implements Expr.
+func (StrContains) Type() storage.ColumnType { return storage.Int64 }
+
+// Eval implements Expr.
+func (s StrContains) Eval(b *Batch, out *Vec) {
+	out.Reset()
+	out.T = storage.Int64
+	for _, v := range b.Vecs[s.Col].Str {
+		if strings.Contains(v, s.Sub) {
+			out.I64 = append(out.I64, 1)
+		} else {
+			out.I64 = append(out.I64, 0)
+		}
+	}
+}
+
+// InI64 tests membership of an int64 column in a constant set.
+type InI64 struct {
+	Expr Expr
+	Set  map[int64]bool
+	tmp  Vec
+}
+
+// Type implements Expr.
+func (*InI64) Type() storage.ColumnType { return storage.Int64 }
+
+// Eval implements Expr.
+func (s *InI64) Eval(b *Batch, out *Vec) {
+	s.Expr.Eval(b, &s.tmp)
+	out.Reset()
+	out.T = storage.Int64
+	for _, v := range s.tmp.I64 {
+		if s.Set[v] {
+			out.I64 = append(out.I64, 1)
+		} else {
+			out.I64 = append(out.I64, 0)
+		}
+	}
+}
+
+// InStr tests membership of a string column in a constant set.
+type InStr struct {
+	Col int
+	Set map[string]bool
+}
+
+// Type implements Expr.
+func (InStr) Type() storage.ColumnType { return storage.Int64 }
+
+// Eval implements Expr.
+func (s InStr) Eval(b *Batch, out *Vec) {
+	out.Reset()
+	out.T = storage.Int64
+	for _, v := range b.Vecs[s.Col].Str {
+		if s.Set[v] {
+			out.I64 = append(out.I64, 1)
+		} else {
+			out.I64 = append(out.I64, 0)
+		}
+	}
+}
+
+// Between is lo <= e <= hi for int64 expressions (dates, keys).
+func Between(e Expr, lo, hi int64) Expr {
+	return NewAnd(NewCmp(">=", e, ConstI(lo)), NewCmp("<=", e, ConstI(hi)))
+}

@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"repro/internal/storage"
+)
+
+// OrderedAggr aggregates an input that is already sorted (clustered) on
+// the group columns, emitting each group as soon as its run ends. This
+// is the kind of plan §2.3 describes as requiring in-order data
+// delivery: it works above a Scan or an in-order CScan, but silently
+// produces wrong results over out-of-order chunk delivery — which is
+// exactly why the CScan operator grew an in-order mode. The test suite
+// demonstrates both directions.
+type OrderedAggr struct {
+	Child  Op
+	Groups []int
+	Aggs   []AggSpec
+
+	out      *Batch
+	curKeyI  []int64
+	curKeyS  []string
+	haveCur  bool
+	sums     []float64
+	isums    []int64
+	n        int64
+	childEOF bool
+}
+
+// Schema implements Operator: group columns then aggregates (AggSum and
+// AggCount only; ordered aggregation is used for distributive plans).
+func (a *OrderedAggr) Schema() []storage.ColumnType {
+	child := a.Child.Schema()
+	var out []storage.ColumnType
+	for _, g := range a.Groups {
+		out = append(out, child[g])
+	}
+	for _, spec := range a.Aggs {
+		if spec.Kind == AggCount {
+			out = append(out, storage.Int64)
+		} else {
+			out = append(out, child[spec.Col])
+		}
+	}
+	return out
+}
+
+// Open implements Operator.
+func (a *OrderedAggr) Open() {
+	a.Child.Open()
+	a.out = NewBatch(a.Schema())
+	a.sums = make([]float64, len(a.Aggs))
+	a.isums = make([]int64, len(a.Aggs))
+}
+
+// Next implements Operator.
+func (a *OrderedAggr) Next() *Batch {
+	a.out.Reset()
+	child := a.Child.Schema()
+	for a.out.N < VectorSize {
+		if a.childEOF {
+			if a.haveCur {
+				a.emit(child)
+				a.haveCur = false
+			}
+			break
+		}
+		in := a.Child.Next()
+		if in == nil {
+			a.childEOF = true
+			continue
+		}
+		for i := 0; i < in.N; i++ {
+			if !a.haveCur || !a.sameGroup(in, i, child) {
+				if a.haveCur {
+					a.emit(child)
+				}
+				a.startGroup(in, i, child)
+			}
+			a.accumulate(in, i, child)
+		}
+	}
+	if a.out.N == 0 {
+		return nil
+	}
+	return a.out
+}
+
+// sameGroup reports whether row i of in belongs to the current group.
+func (a *OrderedAggr) sameGroup(in *Batch, i int, child []storage.ColumnType) bool {
+	for gi, g := range a.Groups {
+		switch child[g] {
+		case storage.Int64:
+			if in.Vecs[g].I64[i] != a.curKeyI[gi] {
+				return false
+			}
+		case storage.String:
+			if in.Vecs[g].Str[i] != a.curKeyS[gi] {
+				return false
+			}
+		default:
+			panic("exec: OrderedAggr float group keys unsupported")
+		}
+	}
+	return true
+}
+
+func (a *OrderedAggr) startGroup(in *Batch, i int, child []storage.ColumnType) {
+	a.haveCur = true
+	a.curKeyI = a.curKeyI[:0]
+	a.curKeyS = a.curKeyS[:0]
+	for _, g := range a.Groups {
+		switch child[g] {
+		case storage.Int64:
+			a.curKeyI = append(a.curKeyI, in.Vecs[g].I64[i])
+			a.curKeyS = append(a.curKeyS, "")
+		case storage.String:
+			a.curKeyI = append(a.curKeyI, 0)
+			a.curKeyS = append(a.curKeyS, in.Vecs[g].Str[i])
+		}
+	}
+	for si := range a.Aggs {
+		a.sums[si] = 0
+		a.isums[si] = 0
+	}
+	a.n = 0
+}
+
+func (a *OrderedAggr) accumulate(in *Batch, i int, child []storage.ColumnType) {
+	a.n++
+	for si, spec := range a.Aggs {
+		if spec.Kind == AggCount {
+			continue
+		}
+		switch child[spec.Col] {
+		case storage.Int64:
+			a.isums[si] += in.Vecs[spec.Col].I64[i]
+		case storage.Float64:
+			a.sums[si] += in.Vecs[spec.Col].F64[i]
+		}
+	}
+}
+
+func (a *OrderedAggr) emit(child []storage.ColumnType) {
+	col := 0
+	for gi, g := range a.Groups {
+		switch child[g] {
+		case storage.Int64:
+			a.out.Vecs[col].I64 = append(a.out.Vecs[col].I64, a.curKeyI[gi])
+		case storage.String:
+			a.out.Vecs[col].Str = append(a.out.Vecs[col].Str, a.curKeyS[gi])
+		}
+		col++
+	}
+	for si, spec := range a.Aggs {
+		v := a.out.Vecs[col]
+		switch {
+		case spec.Kind == AggCount:
+			v.I64 = append(v.I64, a.n)
+		case v.T == storage.Int64:
+			v.I64 = append(v.I64, a.isums[si])
+		default:
+			v.F64 = append(v.F64, a.sums[si])
+		}
+		col++
+	}
+	a.out.N++
+}
+
+// Close implements Operator.
+func (a *OrderedAggr) Close() { a.Child.Close() }

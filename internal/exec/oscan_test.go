@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/iosim"
+	"repro/internal/pbm"
+	"repro/internal/pdt"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func TestOScanProducesExactMultiset(t *testing.T) {
+	e := newEnv(t, 20000, false)
+	e.run(func() {
+		want := Collect(&Scan{Ctx: e.ctx, Snap: e.snap, Cols: []int{0}, Ranges: []RIDRange{{100, 18000}}})
+		got := Collect(&OScan{Ctx: e.ctx, Snap: e.snap, Cols: []int{0}, Ranges: []RIDRange{{100, 18000}}, SectionTuples: 3000})
+		if got.N != want.N {
+			t.Fatalf("N = %d, want %d", got.N, want.N)
+		}
+		a := append([]int64{}, got.Vecs[0].I64...)
+		b := append([]int64{}, want.Vecs[0].I64...)
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("multiset mismatch at %d", i)
+			}
+		}
+	})
+}
+
+func TestOScanWithPDT(t *testing.T) {
+	e := newEnv(t, 9000, false)
+	p := pdt.New(e.snap.Table().Schema, 9000)
+	p.DeleteAt(10)
+	p.InsertAt(500, pdt.Row{pdt.IntVal(-3), pdt.FloatVal(0), pdt.StrVal("X")})
+	p.ModifyAt(7000, 0, pdt.IntVal(-9))
+	e.run(func() {
+		want := Collect(&Scan{Ctx: e.ctx, Snap: e.snap, Cols: []int{0}, Ranges: []RIDRange{{0, p.NumTuples()}}, PDT: p})
+		got := Collect(&OScan{Ctx: e.ctx, Snap: e.snap, Cols: []int{0}, Ranges: []RIDRange{{0, p.NumTuples()}}, PDT: p, SectionTuples: 2048})
+		if got.N != want.N {
+			t.Fatalf("N = %d, want %d", got.N, want.N)
+		}
+		a := append([]int64{}, got.Vecs[0].I64...)
+		b := append([]int64{}, want.Vecs[0].I64...)
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("multiset mismatch at %d: %d vs %d", i, a[i], b[i])
+			}
+		}
+	})
+}
+
+// TestOScanAttachesToCachedRegion: with a half-table pool, a second
+// opportunistic scan starting later processes the cached region first
+// and the pair does less I/O than two in-order LRU scans.
+func TestOScanAttachesToCachedRegion(t *testing.T) {
+	run := func(opportunistic bool) int64 {
+		eng := sim.NewEngine()
+		disk := iosim.New(eng, iosim.Config{Bandwidth: 150e6, SeekLatency: 20 * time.Microsecond})
+		pol := pbm.New(eng, pbm.DefaultConfig())
+		nTuples := 200_000
+		cat := storage.NewCatalog()
+		tb, _ := cat.CreateTable("t", storage.Schema{{Name: "a", Type: storage.Int64, Width: 8}})
+		d := storage.NewColumnData()
+		d.I64[0] = make([]int64, nTuples)
+		snap, _ := tb.Master().Append(d)
+		pool := buffer.NewPool(eng, disk, pol, snap.TotalBytes(nil)/2)
+		ctx := &Ctx{Eng: eng, Pool: pool, PBM: pol, ReadAheadTuples: 8192}
+		wg := eng.NewWaitGroup()
+		scan := func(delay sim.Duration) {
+			defer wg.Done()
+			eng.Sleep(delay)
+			var op Operator
+			if opportunistic {
+				op = &OScan{Ctx: ctx, Snap: snap, Cols: []int{0}, Ranges: []RIDRange{{0, int64(nTuples)}}, SectionTuples: 8192}
+			} else {
+				op = &Scan{Ctx: ctx, Snap: snap, Cols: []int{0}, Ranges: []RIDRange{{0, int64(nTuples)}}}
+			}
+			op.Open()
+			for b := op.Next(); b != nil; b = op.Next() {
+				eng.Sleep(200 * time.Microsecond) // processing cost per batch
+			}
+			op.Close()
+		}
+		wg.Add(2)
+		eng.Go("s1", func() { scan(0) })
+		eng.Go("s2", func() { scan(40 * time.Millisecond) })
+		eng.Go("driver", func() { wg.Wait() })
+		eng.Run()
+		return pool.Stats().BytesLoaded
+	}
+	inOrder := run(false)
+	opp := run(true)
+	if opp > inOrder {
+		t.Fatalf("opportunistic I/O %d > in-order I/O %d", opp, inOrder)
+	}
+}
+
+func TestOScanRequiresPool(t *testing.T) {
+	e := newEnv(t, 1000, true)
+	e.ctx.Pool = nil
+	panicked := false
+	e.run(func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		o := &OScan{Ctx: e.ctx, Snap: e.snap, Cols: []int{0}, Ranges: []RIDRange{{0, 1000}}}
+		o.Open()
+	})
+	if !panicked {
+		t.Fatal("expected panic")
+	}
+}

@@ -1,0 +1,111 @@
+package exec
+
+import (
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// XChg is the Exchange operator of §2.2 (Volcano-style): it runs N copies
+// of a subplan as separate simulated processes (one per "thread") and
+// merges their output streams. Plans are parallelized by statically
+// partitioning the scanned RID range per Equation 1 and building one
+// subplan per partition.
+type XChg struct {
+	Ctx *Ctx
+	// Parts builds the i-th parallel subplan.
+	Parts []func() Op
+	// QueueCap bounds the per-producer output queue in batches (back
+	// pressure); default 4.
+	QueueCap int
+
+	schema  []storage.ColumnType
+	queue   []*Batch
+	space   *sim.Event
+	ready   *sim.Event
+	running int
+	out     *Batch
+	opened  bool
+}
+
+// Schema implements Operator.
+func (x *XChg) Schema() []storage.ColumnType {
+	if x.schema == nil {
+		op := x.Parts[0]()
+		x.schema = op.Schema()
+	}
+	return x.schema
+}
+
+// Open implements Operator: spawns one producer process per subplan.
+func (x *XChg) Open() {
+	if x.opened {
+		panic("exec: XChg reopened")
+	}
+	x.opened = true
+	if x.QueueCap <= 0 {
+		x.QueueCap = 4
+	}
+	x.space = x.Ctx.Eng.NewEvent()
+	x.ready = x.Ctx.Eng.NewEvent()
+	x.out = NewBatch(x.Schema())
+	x.running = len(x.Parts)
+	cap := x.QueueCap * len(x.Parts)
+	for _, mk := range x.Parts {
+		mk := mk
+		x.Ctx.Eng.Go("xchg-worker", func() {
+			op := mk()
+			op.Open()
+			defer op.Close()
+			for {
+				b := op.Next()
+				if b == nil {
+					break
+				}
+				// Copy: the producer's batch is reused on its next call,
+				// while the consumer drains asynchronously.
+				cp := NewBatch(x.schema)
+				for i := 0; i < b.N; i++ {
+					for c := range cp.Vecs {
+						cp.Vecs[c].AppendFrom(b.Vecs[c], i)
+					}
+				}
+				cp.N = b.N
+				for len(x.queue) >= cap {
+					x.space.Wait()
+				}
+				x.queue = append(x.queue, cp)
+				x.ready.Fire()
+			}
+			x.running--
+			x.ready.Fire()
+		})
+	}
+}
+
+// Next implements Operator: pops merged batches in arrival order.
+func (x *XChg) Next() *Batch {
+	for {
+		if len(x.queue) > 0 {
+			b := x.queue[0]
+			x.queue = x.queue[1:]
+			x.space.Fire()
+			return b
+		}
+		if x.running == 0 {
+			return nil
+		}
+		x.ready.Wait()
+	}
+}
+
+// Close implements Operator: drains any remaining producer output so the
+// worker processes terminate.
+func (x *XChg) Close() {
+	for x.running > 0 || len(x.queue) > 0 {
+		x.queue = nil
+		x.space.Fire()
+		if x.running > 0 {
+			x.ready.Wait()
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package integration
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/minmax"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// TestMinMaxPrunedScan wires the §2.3 pieces together: a MinMax index
+// restricts a selective scan to a few fine-grained ranges, the Scan
+// operator serves them, and the result matches the unpruned plan while
+// reading far fewer pages.
+func TestMinMaxPrunedScan(t *testing.T) {
+	cat := storage.NewCatalog()
+	s := newSys(workload.PBM, 1<<24)
+	snap := buildTable(t, cat, 40000)
+	// Column 0 (k) is sorted 0..n-1: ideal for MinMax pruning.
+	ix := minmax.Build(snap, 0, 2048)
+	s.run(func() {
+		want := exec.Collect(&exec.Select{
+			Child: &exec.Scan{Ctx: s.ctx, Snap: snap, Cols: []int{0}, Ranges: []exec.RIDRange{{Lo: 0, Hi: 40000}}},
+			Pred:  exec.Between(exec.Col{Idx: 0, T: storage.Int64}, 30000, 30100),
+		})
+		missesFull := s.pool.Stats().Misses
+
+		s.pool.FlushAll()
+		ranges := ix.PruneRange(0, 40000, 30000, 30100)
+		got := exec.Collect(&exec.Select{
+			Child: &exec.Scan{Ctx: s.ctx, Snap: snap, Cols: []int{0}, Ranges: ranges},
+			Pred:  exec.Between(exec.Col{Idx: 0, T: storage.Int64}, 30000, 30100),
+		})
+		missesPruned := s.pool.Stats().Misses - missesFull
+
+		if got.N != want.N || got.N != 101 {
+			t.Errorf("pruned N = %d, want %d (=101)", got.N, want.N)
+			return
+		}
+		for i := 0; i < got.N; i++ {
+			if got.Vecs[0].I64[i] != want.Vecs[0].I64[i] {
+				t.Errorf("value mismatch at %d", i)
+				return
+			}
+		}
+		if missesPruned >= missesFull {
+			t.Errorf("pruned scan read %d pages, full scan %d", missesPruned, missesFull)
+		}
+	})
+}

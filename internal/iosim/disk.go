@@ -1,0 +1,119 @@
+// Package iosim simulates a disk subsystem in virtual time.
+//
+// The model is deliberately simple but captures the properties the paper's
+// experiments depend on: a fixed sequential bandwidth, a per-request seek
+// penalty when the access is not contiguous with the previous one, and
+// FIFO queueing of concurrent requests (requests from many scans serialize
+// on the device, so concurrent scans competing for the disk slow each
+// other down and destroy sequential locality — the core problem statement
+// of §1).
+package iosim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// BlockID identifies a physical disk block (a page's home location). IDs
+// are allocated densely per device; two blocks are "sequential" when their
+// IDs are consecutive.
+type BlockID int64
+
+// Stats aggregates device activity.
+type Stats struct {
+	BytesRead   int64 // total bytes transferred
+	Requests    int64 // number of read requests
+	Seeks       int64 // requests that were not sequential with the previous one
+	BusyTime    sim.Duration
+	MaxQueueLen int // high-water mark of queued requests
+}
+
+// Disk is a simulated block device.
+type Disk struct {
+	eng *sim.Engine
+
+	bandwidth   float64 // bytes per second of sequential transfer
+	seekLatency sim.Duration
+
+	busyUntil sim.Time
+	lastBlock BlockID
+	haveLast  bool
+	queued    int
+
+	stats Stats
+
+	// OnRead, if non-nil, observes every read (used by the trace recorder).
+	OnRead func(b BlockID, bytes int64)
+}
+
+// Config parameterizes a simulated disk.
+type Config struct {
+	// Bandwidth is the sequential transfer rate in bytes per second.
+	Bandwidth float64
+	// SeekLatency is added to any request that does not continue the
+	// previous request's block run.
+	SeekLatency sim.Duration
+}
+
+// DefaultSeekLatency approximates a short SSD-array reposition; the
+// paper's testbed is an SSD RAID, so seeks are cheap but not free.
+const DefaultSeekLatency = 100 * time.Microsecond
+
+// New creates a disk attached to the engine.
+func New(eng *sim.Engine, cfg Config) *Disk {
+	if cfg.Bandwidth <= 0 {
+		panic("iosim: bandwidth must be positive")
+	}
+	if cfg.SeekLatency < 0 {
+		panic("iosim: negative seek latency")
+	}
+	return &Disk{eng: eng, bandwidth: cfg.Bandwidth, seekLatency: cfg.SeekLatency}
+}
+
+// Bandwidth reports the configured sequential bandwidth in bytes/second.
+func (d *Disk) Bandwidth() float64 { return d.bandwidth }
+
+// Read transfers a run of blocks starting at block b, totalling the given
+// number of bytes, blocking the calling process for the simulated device
+// time. Concurrent readers queue FIFO. blocks is the number of consecutive
+// BlockIDs covered (used for sequentiality tracking).
+func (d *Disk) Read(b BlockID, blocks int, bytes int64) {
+	if bytes <= 0 || blocks <= 0 {
+		panic(fmt.Sprintf("iosim: bad read: %d blocks, %d bytes", blocks, bytes))
+	}
+	d.queued++
+	if d.queued > d.stats.MaxQueueLen {
+		d.stats.MaxQueueLen = d.queued
+	}
+
+	start := d.eng.Now()
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	dur := sim.Duration(float64(bytes) / d.bandwidth * 1e9)
+	if !d.haveLast || b != d.lastBlock+1 {
+		dur += d.seekLatency
+		d.stats.Seeks++
+	}
+	d.busyUntil = start + sim.Time(dur)
+	d.lastBlock = b + BlockID(blocks) - 1
+	d.haveLast = true
+
+	d.stats.Requests++
+	d.stats.BytesRead += bytes
+	d.stats.BusyTime += dur
+	if d.OnRead != nil {
+		d.OnRead(b, bytes)
+	}
+
+	d.eng.SleepUntil(d.busyUntil)
+	d.queued--
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the counters (the device position memory is kept).
+func (d *Disk) ResetStats() { d.stats = Stats{} }

@@ -1,0 +1,111 @@
+// Package minmax implements Vectorwise's automatic MinMax indexes, which
+// §2.3 of the paper cites as one source of fine-grained scan ranges:
+// per-block minimum/maximum summaries of a column that let the planner
+// shrink a scan's tuple ranges before it ever reaches the buffer
+// manager. The paper notes such restricted range scans are a reason the
+// traditional Scan operator must coexist with CScans (many small ranges
+// are finer than a chunk).
+package minmax
+
+import (
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+// BlockTuples is the default summarization granularity.
+const BlockTuples = 4096
+
+// Index summarizes one int64 column of one snapshot.
+type Index struct {
+	col    int
+	block  int64
+	mins   []int64
+	maxs   []int64
+	tuples int64
+}
+
+// Build scans the column directly (storage-level, no buffer pool: in
+// Vectorwise MinMax indexes are maintained during load) and summarizes
+// blocks of blockTuples.
+func Build(snap *storage.Snapshot, col int, blockTuples int64) *Index {
+	if blockTuples <= 0 {
+		blockTuples = BlockTuples
+	}
+	n := snap.NumTuples()
+	idx := &Index{col: col, block: blockTuples, tuples: n}
+	var buf []int64
+	for lo := int64(0); lo < n; lo += blockTuples {
+		hi := lo + blockTuples
+		if hi > n {
+			hi = n
+		}
+		buf = snap.ReadInt64(col, lo, hi, buf)
+		mn, mx := buf[0], buf[0]
+		for _, v := range buf[1:] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		idx.mins = append(idx.mins, mn)
+		idx.maxs = append(idx.maxs, mx)
+	}
+	return idx
+}
+
+// Blocks returns the number of summarized blocks.
+func (ix *Index) Blocks() int { return len(ix.mins) }
+
+// PruneRange restricts [lo,hi) to the blocks that may contain values in
+// [vmin, vmax], returning the (possibly multiple) surviving tuple
+// ranges. Ranges are clipped to the input range and coalesced.
+func (ix *Index) PruneRange(lo, hi int64, vmin, vmax int64) []exec.RIDRange {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > ix.tuples {
+		hi = ix.tuples
+	}
+	if lo >= hi {
+		return nil
+	}
+	first := lo / ix.block
+	last := (hi - 1) / ix.block
+	var out []exec.RIDRange
+	for b := first; b <= last; b++ {
+		if ix.mins[b] > vmax || ix.maxs[b] < vmin {
+			continue // block cannot match
+		}
+		blo := b * ix.block
+		bhi := blo + ix.block
+		if blo < lo {
+			blo = lo
+		}
+		if bhi > hi {
+			bhi = hi
+		}
+		if n := len(out); n > 0 && out[n-1].Hi == blo {
+			out[n-1].Hi = bhi // coalesce adjacent surviving blocks
+			continue
+		}
+		out = append(out, exec.RIDRange{Lo: blo, Hi: bhi})
+	}
+	return out
+}
+
+// Selectivity estimates the fraction of blocks surviving a [vmin,vmax]
+// restriction (planner heuristics; tests use it too).
+func (ix *Index) Selectivity(vmin, vmax int64) float64 {
+	if len(ix.mins) == 0 {
+		return 0
+	}
+	hit := 0
+	for b := range ix.mins {
+		if ix.mins[b] <= vmax && ix.maxs[b] >= vmin {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(ix.mins))
+}

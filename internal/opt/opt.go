@@ -1,0 +1,171 @@
+// Package opt implements Belady's OPT page-replacement algorithm [Belady
+// 1966] as an offline simulator over a recorded page-reference trace,
+// following the paper's methodology (§4): the trace of all page references
+// is gathered from the PBM run (an order-preserving policy), then replayed
+// under OPT to obtain the optimal I/O volume of order-preserving policies.
+package opt
+
+import (
+	"container/heap"
+
+	"repro/internal/storage"
+)
+
+// Ref is one page reference in a trace.
+type Ref struct {
+	Page  storage.PageID
+	Bytes int64
+}
+
+// Result reports the outcome of an OPT (or other offline) replay.
+type Result struct {
+	Refs        int64
+	Hits        int64
+	Misses      int64
+	BytesLoaded int64
+}
+
+// victimHeap orders cached pages by furthest next use (max-heap).
+type victimHeap []victim
+
+type victim struct {
+	nextUse int64 // position of next reference; math.MaxInt64 when never
+	page    storage.PageID
+}
+
+func (h victimHeap) Len() int            { return len(h) }
+func (h victimHeap) Less(i, j int) bool  { return h[i].nextUse > h[j].nextUse }
+func (h victimHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *victimHeap) Push(x interface{}) { *h = append(*h, x.(victim)) }
+func (h *victimHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+const never = int64(1) << 62
+
+// Simulate replays trace under Belady's OPT with the given byte capacity:
+// on a miss with a full cache, the page whose next reference is furthest
+// in the future is evicted. Stale heap entries are discarded lazily.
+func Simulate(trace []Ref, capacity int64) Result {
+	if capacity <= 0 {
+		panic("opt: capacity must be positive")
+	}
+	// Precompute, for each position, the position of the next reference
+	// to the same page.
+	next := make([]int64, len(trace))
+	last := make(map[storage.PageID]int64, 1024)
+	for i := len(trace) - 1; i >= 0; i-- {
+		if j, ok := last[trace[i].Page]; ok {
+			next[i] = j
+		} else {
+			next[i] = never
+		}
+		last[trace[i].Page] = int64(i)
+	}
+
+	type cached struct {
+		nextUse int64
+		bytes   int64
+	}
+	cache := make(map[storage.PageID]*cached, 1024)
+	var used int64
+	var h victimHeap
+	var res Result
+
+	for i, r := range trace {
+		res.Refs++
+		if c, ok := cache[r.Page]; ok {
+			res.Hits++
+			c.nextUse = next[i]
+			heap.Push(&h, victim{nextUse: next[i], page: r.Page})
+			continue
+		}
+		res.Misses++
+		res.BytesLoaded += r.Bytes
+		for used+r.Bytes > capacity {
+			if len(h) == 0 {
+				panic("opt: cache accounting underflow")
+			}
+			v := heap.Pop(&h).(victim)
+			c, ok := cache[v.page]
+			if !ok || c.nextUse != v.nextUse {
+				continue // stale entry
+			}
+			delete(cache, v.page)
+			used -= c.bytes
+		}
+		cache[r.Page] = &cached{nextUse: next[i], bytes: r.Bytes}
+		used += r.Bytes
+		heap.Push(&h, victim{nextUse: next[i], page: r.Page})
+	}
+	return res
+}
+
+// SimulateLRU replays the same trace under LRU; used by tests to check
+// OPT's optimality property and by ablations.
+func SimulateLRU(trace []Ref, capacity int64) Result {
+	if capacity <= 0 {
+		panic("opt: capacity must be positive")
+	}
+	type node struct {
+		page       storage.PageID
+		bytes      int64
+		prev, next *node
+	}
+	var head, tail *node // head = LRU
+	byPage := make(map[storage.PageID]*node)
+	var used int64
+	unlink := func(n *node) {
+		if n.prev != nil {
+			n.prev.next = n.next
+		} else {
+			head = n.next
+		}
+		if n.next != nil {
+			n.next.prev = n.prev
+		} else {
+			tail = n.prev
+		}
+		n.prev, n.next = nil, nil
+	}
+	pushBack := func(n *node) {
+		n.prev = tail
+		if tail != nil {
+			tail.next = n
+		}
+		tail = n
+		if head == nil {
+			head = n
+		}
+	}
+	var res Result
+	for _, r := range trace {
+		res.Refs++
+		if n, ok := byPage[r.Page]; ok {
+			res.Hits++
+			unlink(n)
+			pushBack(n)
+			continue
+		}
+		res.Misses++
+		res.BytesLoaded += r.Bytes
+		for used+r.Bytes > capacity {
+			v := head
+			if v == nil {
+				panic("opt: lru accounting underflow")
+			}
+			unlink(v)
+			delete(byPage, v.page)
+			used -= v.bytes
+		}
+		n := &node{page: r.Page, bytes: r.Bytes}
+		byPage[r.Page] = n
+		used += r.Bytes
+		pushBack(n)
+	}
+	return res
+}

@@ -1,0 +1,135 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func uniform(ids ...int) []Ref {
+	out := make([]Ref, len(ids))
+	for i, id := range ids {
+		out[i] = Ref{Page: storage.PageID(id), Bytes: 1}
+	}
+	return out
+}
+
+func TestBeladyClassicExample(t *testing.T) {
+	// The canonical OPT example: 3-frame cache.
+	trace := uniform(7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2, 1, 2, 0, 1, 7, 0, 1)
+	res := Simulate(trace, 3)
+	if res.Misses != 9 {
+		t.Fatalf("OPT misses = %d, want 9 (classic Belady result)", res.Misses)
+	}
+	if res.Hits != int64(len(trace))-9 {
+		t.Fatalf("hits = %d", res.Hits)
+	}
+}
+
+func TestAllFitsNoEvictions(t *testing.T) {
+	trace := uniform(1, 2, 3, 1, 2, 3)
+	res := Simulate(trace, 10)
+	if res.Misses != 3 || res.Hits != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSinglePage(t *testing.T) {
+	trace := uniform(5, 5, 5, 5)
+	res := Simulate(trace, 1)
+	if res.Misses != 1 || res.Hits != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestVariableSizedPages(t *testing.T) {
+	trace := []Ref{
+		{Page: 1, Bytes: 6}, {Page: 2, Bytes: 6}, {Page: 1, Bytes: 6},
+	}
+	// Capacity 10 can hold only one 6-byte page at a time.
+	res := Simulate(trace, 10)
+	if res.Misses != 3 {
+		t.Fatalf("misses = %d, want 3", res.Misses)
+	}
+	if res.BytesLoaded != 18 {
+		t.Fatalf("bytes = %d", res.BytesLoaded)
+	}
+}
+
+func TestLRUSequentialFloodsCache(t *testing.T) {
+	// Cyclic scan over N+1 pages with capacity N: LRU misses everything.
+	var trace []Ref
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 5; i++ {
+			trace = append(trace, Ref{Page: storage.PageID(i), Bytes: 1})
+		}
+	}
+	lru := SimulateLRU(trace, 4)
+	if lru.Hits != 0 {
+		t.Fatalf("LRU hits = %d, want 0 on cyclic overflow", lru.Hits)
+	}
+	// OPT keeps 3 pages across rounds: strictly better.
+	o := Simulate(trace, 4)
+	if o.Misses >= lru.Misses {
+		t.Fatalf("OPT misses %d not better than LRU %d", o.Misses, lru.Misses)
+	}
+}
+
+// Property (optimality): OPT never has more misses than LRU on any trace
+// with uniform page sizes.
+func TestPropertyOPTBeatsLRU(t *testing.T) {
+	f := func(seed int64, n uint8, spread uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pages := int(spread)%20 + 2
+		var trace []Ref
+		for i := 0; i < int(n)+10; i++ {
+			trace = append(trace, Ref{Page: storage.PageID(rng.Intn(pages)), Bytes: 1})
+		}
+		capBytes := int64(rng.Intn(pages-1) + 1)
+		o := Simulate(trace, capBytes)
+		l := SimulateLRU(trace, capBytes)
+		return o.Misses <= l.Misses && o.Refs == l.Refs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: accounting balances and misses at least equal the number of
+// distinct pages (cold misses are unavoidable).
+func TestPropertyAccounting(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		distinct := make(map[storage.PageID]bool)
+		var trace []Ref
+		for i := 0; i < int(n)+1; i++ {
+			id := storage.PageID(rng.Intn(12))
+			distinct[id] = true
+			trace = append(trace, Ref{Page: id, Bytes: 1})
+		}
+		res := Simulate(trace, 4)
+		return res.Hits+res.Misses == int64(len(trace)) &&
+			res.Misses >= int64(len(distinct))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	res := Simulate(nil, 100)
+	if res != (Result{}) {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Simulate(uniform(1), 0)
+}

@@ -1,0 +1,103 @@
+package pbm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func TestThrottleDisabledByDefault(t *testing.T) {
+	p := New(&fakeClock{}, testCfg())
+	if p.ThrottleEnabled() {
+		t.Fatal("throttle enabled by default")
+	}
+	if p.ShouldThrottle(1) {
+		t.Fatal("disabled throttle advised a pause")
+	}
+}
+
+func TestEvictionHorizonTracksEvictedPages(t *testing.T) {
+	cfg := testCfg()
+	cfg.EvictBatch = 1
+	eng, p, pool, pages := pbmFixture(t, 2, 8, cfg)
+	eng.Go("q", func() {
+		id := p.RegisterScan([][]*storage.Page{pages[:8]})
+		eng.Sleep(100 * time.Millisecond)
+		p.ReportScanPosition(id, 10) // slow scan: far pages have big estimates
+		// Fill the 2-page pool with far-future pages; the third get
+		// evicts one that a scan still wants -> horizon updates.
+		pool.Unpin(pool.Get(pages[5]))
+		pool.Unpin(pool.Get(pages[6]))
+		pool.Unpin(pool.Get(pages[7]))
+		if p.EvictionHorizon() <= 0 {
+			t.Error("eviction horizon not updated")
+		}
+	})
+	eng.Run()
+}
+
+func TestShouldThrottleLeadingScan(t *testing.T) {
+	cfg := testCfg()
+	cfg.EvictBatch = 1
+	eng, p, pool, pages := pbmFixture(t, 2, 8, cfg)
+	tc := DefaultThrottleConfig()
+	tc.Enabled = true
+	p.SetThrottle(tc)
+	eng.Go("q", func() {
+		lead := p.RegisterScan([][]*storage.Page{pages[:8]})
+		trail := p.RegisterScan([][]*storage.Page{pages[:8]})
+		// Leader races ahead, trailer crawls.
+		eng.Sleep(10 * time.Millisecond)
+		p.ReportScanPosition(lead, 8000)
+		p.ReportScanPosition(trail, 100)
+		eng.Sleep(10 * time.Millisecond)
+		p.ReportScanPosition(lead, 16000)
+		p.ReportScanPosition(trail, 200)
+		// Force evictions of requested pages to set a short horizon.
+		pool.Unpin(pool.Get(pages[5]))
+		pool.Unpin(pool.Get(pages[6]))
+		pool.Unpin(pool.Get(pages[7]))
+		if p.EvictionHorizon() <= 0 {
+			t.Fatal("no horizon")
+		}
+		if !p.ShouldThrottle(lead) {
+			t.Error("leading scan not advised to throttle despite trailing scan beyond horizon")
+		}
+		if p.ShouldThrottle(trail) {
+			t.Error("trailing scan advised to throttle")
+		}
+	})
+	eng.Run()
+}
+
+func TestShouldThrottleNoTrailerNoAdvice(t *testing.T) {
+	cfg := testCfg()
+	eng, p, _, pages := pbmFixture(t, 4, 8, cfg)
+	tc := DefaultThrottleConfig()
+	tc.Enabled = true
+	p.SetThrottle(tc)
+	eng.Go("q", func() {
+		id := p.RegisterScan([][]*storage.Page{pages[:8]})
+		eng.Sleep(10 * time.Millisecond)
+		p.ReportScanPosition(id, 1000)
+		p.evictHorizon = 1e6 // pretend evictions happened
+		if p.ShouldThrottle(id) {
+			t.Error("sole scan advised to throttle")
+		}
+	})
+	eng.Run()
+}
+
+func TestThrottlePauseConfigured(t *testing.T) {
+	p := New(&fakeClock{}, testCfg())
+	tc := ThrottleConfig{Enabled: true, Pause: sim.Duration(5 * time.Millisecond), Margin: 2}
+	p.SetThrottle(tc)
+	if p.ThrottlePause() != sim.Duration(5*time.Millisecond) {
+		t.Fatalf("pause = %v", p.ThrottlePause())
+	}
+	if !p.ThrottleEnabled() {
+		t.Fatal("not enabled")
+	}
+}

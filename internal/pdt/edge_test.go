@@ -1,0 +1,143 @@
+package pdt
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// Additional edge-case coverage for the delta-tree semantics: operation
+// interactions the main suite's random walks hit only probabilistically.
+
+func TestModifyThenDeleteDropsModification(t *testing.T) {
+	snap := stableSnap(t, 4)
+	p := New(oneColSchema(), 4)
+	p.ModifyAt(2, 0, IntVal(77))
+	p.DeleteAt(2) // the modified stable tuple disappears entirely
+	got := image(p, snap)
+	want := []int64{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("image = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeleteAllTuples(t *testing.T) {
+	snap := stableSnap(t, 3)
+	p := New(oneColSchema(), 3)
+	for p.NumTuples() > 0 {
+		p.DeleteAt(0)
+	}
+	if got := image(p, snap); len(got) != 0 {
+		t.Fatalf("image = %v, want empty", got)
+	}
+	// Inserting into the empty image works.
+	p.InsertAt(0, row(42))
+	if got := image(p, snap); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("image = %v", got)
+	}
+}
+
+func TestInsertRunSpanningDelete(t *testing.T) {
+	snap := stableSnap(t, 5)
+	p := New(oneColSchema(), 5)
+	p.DeleteAt(2)           // [0 1 3 4]
+	p.InsertAt(2, row(100)) // before stable 3
+	p.InsertAt(2, row(101)) // before the first insert
+	got := image(p, snap)
+	want := []int64{0, 1, 101, 100, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSegmentsEmptyRange(t *testing.T) {
+	p := New(oneColSchema(), 10)
+	p.DeleteAt(5)
+	if segs := p.SegmentsRID(3, 3); segs != nil {
+		t.Fatalf("empty range segments = %v", segs)
+	}
+}
+
+func TestSegmentsExactlyOneInsert(t *testing.T) {
+	p := New(oneColSchema(), 4)
+	p.InsertAt(2, row(9))
+	segs := p.SegmentsRID(2, 3)
+	if len(segs) != 1 || segs[0].Kind != SegInsert || len(segs[0].Rows) != 1 {
+		t.Fatalf("segs = %+v", segs)
+	}
+	if segs[0].Rows[0][0].I64 != 9 {
+		t.Fatalf("wrong row: %v", segs[0].Rows[0])
+	}
+}
+
+func TestPropagateOntoEmptyLower(t *testing.T) {
+	snap := stableSnap(t, 4)
+	lower := New(oneColSchema(), 4)
+	upper := New(oneColSchema(), 4)
+	upper.InsertAt(0, row(50))
+	upper.DeleteAt(4) // stable tuple 3 (shifted by the insert)
+	lower.Propagate(upper)
+	got := image(lower, snap)
+	want := []int64{50, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPropagateAppendsOnly(t *testing.T) {
+	snap := stableSnap(t, 2)
+	lower := New(oneColSchema(), 2)
+	lower.InsertAt(2, row(10))
+	upper := New(oneColSchema(), lower.NumTuples())
+	upper.InsertAt(3, row(11))
+	lower.Propagate(upper)
+	got := image(lower, snap)
+	want := []int64{0, 1, 10, 11}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestValueStringForms(t *testing.T) {
+	if IntVal(3).String() != "3" || FloatVal(2.5).String() != "2.5" || StrVal("x").String() != "x" {
+		t.Fatal("Value.String forms wrong")
+	}
+	if !IntVal(3).Equal(IntVal(3)) || IntVal(3).Equal(IntVal(4)) {
+		t.Fatal("Value.Equal wrong")
+	}
+}
+
+func TestMultiColumnRows(t *testing.T) {
+	schema := storage.Schema{
+		{Name: "a", Type: storage.Int64, Width: 8},
+		{Name: "b", Type: storage.String, Width: 4},
+	}
+	cat := storage.NewCatalog()
+	tb, _ := cat.CreateTable("t", schema)
+	d := storage.NewColumnData()
+	d.I64[0] = []int64{1, 2}
+	d.Str[1] = []string{"x", "y"}
+	snap, _ := tb.Master().Append(d)
+
+	p := New(schema, 2)
+	p.InsertAt(1, Row{IntVal(9), StrVal("z")})
+	p.ModifyAt(0, 1, StrVal("w"))
+	img := p.Image(snap)
+	if img.I64[0][1] != 9 || img.Str[1][1] != "z" {
+		t.Fatalf("insert columns wrong: %v %v", img.I64[0], img.Str[1])
+	}
+	if img.Str[1][0] != "w" {
+		t.Fatalf("modify wrong: %v", img.Str[1])
+	}
+}

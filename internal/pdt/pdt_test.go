@@ -1,0 +1,508 @@
+package pdt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func oneColSchema() storage.Schema {
+	return storage.Schema{{Name: "v", Type: storage.Int64, Width: 8}}
+}
+
+// stableSnap builds a snapshot with values 0..n-1 in column 0.
+func stableSnap(t testing.TB, n int) *storage.Snapshot {
+	t.Helper()
+	cat := storage.NewCatalog()
+	tb, err := cat.CreateTable("t", oneColSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := storage.NewColumnData()
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	d.I64[0] = vals
+	s, err := tb.Master().Append(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func row(v int64) Row { return Row{IntVal(v)} }
+
+// image flattens the merged image's single column.
+func image(p *PDT, snap *storage.Snapshot) []int64 {
+	return p.Image(snap).I64[0]
+}
+
+func TestEmptyPDTIsIdentity(t *testing.T) {
+	snap := stableSnap(t, 5)
+	p := New(oneColSchema(), 5)
+	if !p.Empty() || p.NumTuples() != 5 {
+		t.Fatal("empty PDT wrong")
+	}
+	got := image(p, snap)
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("image[%d] = %d", i, v)
+		}
+	}
+	for i := int64(0); i < 5; i++ {
+		if p.RIDtoSID(i) != i || p.SIDtoRIDlow(i) != i || p.SIDtoRIDhigh(i) != i {
+			t.Fatalf("identity conversion broken at %d", i)
+		}
+	}
+}
+
+func TestInsertShiftsRIDs(t *testing.T) {
+	snap := stableSnap(t, 4) // 0 1 2 3
+	p := New(oneColSchema(), 4)
+	p.InsertAt(2, row(100)) // 0 1 100 2 3
+	got := image(p, snap)
+	want := []int64{0, 1, 100, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image = %v, want %v", got, want)
+		}
+	}
+	if p.RIDtoSID(2) != 2 { // insert maps to SID of following stable tuple
+		t.Fatalf("RIDtoSID(2) = %d, want 2", p.RIDtoSID(2))
+	}
+	if p.SIDtoRIDlow(2) != 2 || p.SIDtoRIDhigh(2) != 3 {
+		t.Fatalf("low/high = %d/%d, want 2/3", p.SIDtoRIDlow(2), p.SIDtoRIDhigh(2))
+	}
+}
+
+func TestDeleteShiftsRIDs(t *testing.T) {
+	snap := stableSnap(t, 5) // 0 1 2 3 4
+	p := New(oneColSchema(), 5)
+	p.DeleteAt(1) // 0 2 3 4
+	got := image(p, snap)
+	want := []int64{0, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image = %v, want %v", got, want)
+		}
+	}
+	// Deleted tuple's SID still converts: the would-be position.
+	if p.SIDtoRIDlow(1) != 1 || p.SIDtoRIDhigh(1) != 1 {
+		t.Fatalf("deleted SID 1 -> %d/%d, want 1/1", p.SIDtoRIDlow(1), p.SIDtoRIDhigh(1))
+	}
+	if p.RIDtoSID(1) != 2 {
+		t.Fatalf("RIDtoSID(1) = %d, want 2", p.RIDtoSID(1))
+	}
+}
+
+func TestDeleteInsertedTupleCancels(t *testing.T) {
+	snap := stableSnap(t, 3)
+	p := New(oneColSchema(), 3)
+	p.InsertAt(1, row(50))
+	p.DeleteAt(1) // cancels the insert entirely
+	if !p.Empty() {
+		t.Fatal("delete of insert left residue")
+	}
+	got := image(p, snap)
+	if len(got) != 3 {
+		t.Fatalf("image = %v", got)
+	}
+}
+
+func TestModify(t *testing.T) {
+	snap := stableSnap(t, 3)
+	p := New(oneColSchema(), 3)
+	p.ModifyAt(1, 0, IntVal(99))
+	got := image(p, snap)
+	want := []int64{0, 99, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image = %v, want %v", got, want)
+		}
+	}
+	// Modify an inserted tuple.
+	p.InsertAt(0, row(7))
+	p.ModifyAt(0, 0, IntVal(8))
+	got = image(p, snap)
+	if got[0] != 8 {
+		t.Fatalf("modified insert = %v", got)
+	}
+}
+
+func TestAppendAtEnd(t *testing.T) {
+	snap := stableSnap(t, 2)
+	p := New(oneColSchema(), 2)
+	p.InsertAt(2, row(10))
+	p.InsertAt(3, row(11))
+	got := image(p, snap)
+	want := []int64{0, 1, 10, 11}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image = %v, want %v", got, want)
+		}
+	}
+	// Appended tuples map to SID == stableCount.
+	if p.RIDtoSID(2) != 2 || p.RIDtoSID(3) != 2 {
+		t.Fatalf("append SIDs: %d %d", p.RIDtoSID(2), p.RIDtoSID(3))
+	}
+}
+
+// TestFigure4Semantics exercises the conversion rules the paper's Figure 4
+// illustrates: a mix of deletes and multi-insert runs where several RIDs
+// share one SID (making RID→SID non-injective), deleted tuples having a
+// SID→RID direction only, and the low/high SID→RID variants bracketing an
+// insert run.
+func TestFigure4Semantics(t *testing.T) {
+	snap := stableSnap(t, 6) // stable: 0 1 2 3 4 5
+	p := New(oneColSchema(), 6)
+	p.DeleteAt(1)           // image: 0 2 3 4 5
+	p.InsertAt(2, row(100)) // image: 0 2 100 3 4 5
+	p.InsertAt(3, row(101)) // image: 0 2 100 101 3 4 5
+	p.DeleteAt(5)           // image: 0 2 100 101 3 5
+	got := image(p, snap)
+	want := []int64{0, 2, 100, 101, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image = %v, want %v", got, want)
+		}
+	}
+
+	// Both inserts anchor before stable tuple 3: RIDs 2,3,4 all map to SID 3.
+	for rid := int64(2); rid <= 4; rid++ {
+		if p.RIDtoSID(rid) != 3 {
+			t.Fatalf("RIDtoSID(%d) = %d, want 3", rid, p.RIDtoSID(rid))
+		}
+	}
+	// Low/high bracket the run; the middle insert's RID is not recoverable
+	// from SID alone (the one-way arrows of Figure 4).
+	if p.SIDtoRIDlow(3) != 2 {
+		t.Fatalf("SIDtoRIDlow(3) = %d, want 2", p.SIDtoRIDlow(3))
+	}
+	if p.SIDtoRIDhigh(3) != 4 {
+		t.Fatalf("SIDtoRIDhigh(3) = %d, want 4", p.SIDtoRIDhigh(3))
+	}
+	// Deleted SID 1: translates to the lowest RID with a higher SID (1,
+	// where stable tuple 2 now sits); no RID translates back to it.
+	if p.SIDtoRIDlow(1) != 1 || p.SIDtoRIDhigh(1) != 1 {
+		t.Fatalf("deleted SID 1 -> %d/%d", p.SIDtoRIDlow(1), p.SIDtoRIDhigh(1))
+	}
+	if p.RIDtoSID(1) != 2 {
+		t.Fatalf("RIDtoSID(1) = %d, want 2", p.RIDtoSID(1))
+	}
+	// Deleted SID 5 at the tail.
+	if p.SIDtoRIDhigh(5) != 5 {
+		t.Fatalf("SIDtoRIDhigh(5) = %d, want 5", p.SIDtoRIDhigh(5))
+	}
+}
+
+// refModel is the naive reference implementation: a slice of (sid, value)
+// with sid == -1 for inserts.
+type refModel struct {
+	vals []int64
+	sids []int64 // -1 for inserted tuples
+}
+
+func newRefModel(n int) *refModel {
+	m := &refModel{}
+	for i := 0; i < n; i++ {
+		m.vals = append(m.vals, int64(i))
+		m.sids = append(m.sids, int64(i))
+	}
+	return m
+}
+
+func (m *refModel) insert(rid int64, v int64) {
+	m.vals = append(m.vals, 0)
+	copy(m.vals[rid+1:], m.vals[rid:])
+	m.vals[rid] = v
+	m.sids = append(m.sids, 0)
+	copy(m.sids[rid+1:], m.sids[rid:])
+	m.sids[rid] = -1
+}
+
+func (m *refModel) delete(rid int64) {
+	m.vals = append(m.vals[:rid], m.vals[rid+1:]...)
+	m.sids = append(m.sids[:rid], m.sids[rid+1:]...)
+}
+
+func (m *refModel) modify(rid int64, v int64) { m.vals[rid] = v }
+
+// TestPropertyAgainstReferenceModel drives random op sequences through
+// both the PDT and the naive model and compares the merged image.
+func TestPropertyAgainstReferenceModel(t *testing.T) {
+	const stableN = 40
+	snap := stableSnap(t, stableN)
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(oneColSchema(), stableN)
+		m := newRefModel(stableN)
+		for op := 0; op < int(nOps)%60+5; op++ {
+			total := p.NumTuples()
+			if int64(len(m.vals)) != total {
+				return false
+			}
+			switch k := rng.Intn(3); {
+			case k == 0 || total == 0:
+				rid := int64(rng.Intn(int(total) + 1))
+				v := int64(1000 + op)
+				p.InsertAt(rid, row(v))
+				m.insert(rid, v)
+			case k == 1:
+				rid := int64(rng.Intn(int(total)))
+				p.DeleteAt(rid)
+				m.delete(rid)
+			default:
+				rid := int64(rng.Intn(int(total)))
+				v := int64(2000 + op)
+				p.ModifyAt(rid, 0, IntVal(v))
+				m.modify(rid, v)
+			}
+		}
+		got := image(p, snap)
+		if len(got) != len(m.vals) {
+			return false
+		}
+		for i := range got {
+			if got[i] != m.vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RIDtoSID is monotonically non-decreasing, and SIDtoRIDlow <=
+// SIDtoRIDhigh with RIDtoSID(SIDtoRIDlow(s)) >= s for visible positions.
+func TestPropertyConversionConsistency(t *testing.T) {
+	const stableN = 30
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(oneColSchema(), stableN)
+		for op := 0; op < 25; op++ {
+			total := p.NumTuples()
+			if total == 0 {
+				p.InsertAt(0, row(int64(op)))
+				continue
+			}
+			switch rng.Intn(3) {
+			case 0:
+				p.InsertAt(int64(rng.Intn(int(total)+1)), row(int64(op)))
+			case 1:
+				p.DeleteAt(int64(rng.Intn(int(total))))
+			default:
+				p.ModifyAt(int64(rng.Intn(int(total))), 0, IntVal(int64(op)))
+			}
+		}
+		total := p.NumTuples()
+		prev := int64(-1)
+		for r := int64(0); r < total; r++ {
+			s := p.RIDtoSID(r)
+			if s < prev {
+				return false
+			}
+			prev = s
+		}
+		for s := int64(0); s <= stableN; s++ {
+			lo, hi := p.SIDtoRIDlow(s), p.SIDtoRIDhigh(s)
+			if lo > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentsRIDMatchesImage: merging an arbitrary sub-range through
+// SegmentsRID equals the corresponding slice of the full image.
+func TestSegmentsRIDMatchesImage(t *testing.T) {
+	const stableN = 30
+	snap := stableSnap(t, stableN)
+	f := func(seed int64, aRaw, bRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(oneColSchema(), stableN)
+		for op := 0; op < 20; op++ {
+			total := p.NumTuples()
+			if total == 0 {
+				p.InsertAt(0, row(int64(op)))
+				continue
+			}
+			switch rng.Intn(3) {
+			case 0:
+				p.InsertAt(int64(rng.Intn(int(total)+1)), row(int64(100+op)))
+			case 1:
+				p.DeleteAt(int64(rng.Intn(int(total))))
+			default:
+				p.ModifyAt(int64(rng.Intn(int(total))), 0, IntVal(int64(200+op)))
+			}
+		}
+		full := image(p, snap)
+		total := p.NumTuples()
+		a := int64(aRaw) % (total + 1)
+		b := int64(bRaw) % (total + 1)
+		if a > b {
+			a, b = b, a
+		}
+		var got []int64
+		for _, seg := range p.SegmentsRID(a, b) {
+			switch seg.Kind {
+			case SegInsert:
+				for _, r := range seg.Rows {
+					got = append(got, r[0].I64)
+				}
+			case SegStable:
+				vals := snap.ReadInt64(0, seg.Lo, seg.Hi, nil)
+				for i, v := range vals {
+					sid := seg.Lo + int64(i)
+					if mods, ok := seg.Mods[sid]; ok {
+						if mv, ok := mods[0]; ok {
+							v = mv.I64
+						}
+					}
+					got = append(got, v)
+				}
+			}
+		}
+		want := full[a:b]
+		if int64(len(got)) != b-a {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropagateComposition(t *testing.T) {
+	const stableN = 20
+	snap := stableSnap(t, stableN)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lower := New(oneColSchema(), stableN)
+		for op := 0; op < 10; op++ {
+			total := lower.NumTuples()
+			switch {
+			case total == 0 || rng.Intn(3) == 0:
+				lower.InsertAt(int64(rng.Intn(int(total)+1)), row(int64(100+op)))
+			case rng.Intn(2) == 0:
+				lower.DeleteAt(int64(rng.Intn(int(total))))
+			default:
+				lower.ModifyAt(int64(rng.Intn(int(total))), 0, IntVal(int64(300+op)))
+			}
+		}
+		upper := New(oneColSchema(), lower.NumTuples())
+		for op := 0; op < 10; op++ {
+			total := upper.NumTuples()
+			switch {
+			case total == 0 || rng.Intn(3) == 0:
+				upper.InsertAt(int64(rng.Intn(int(total)+1)), row(int64(500+op)))
+			case rng.Intn(2) == 0:
+				upper.DeleteAt(int64(rng.Intn(int(total))))
+			default:
+				upper.ModifyAt(int64(rng.Intn(int(total))), 0, IntVal(int64(700+op)))
+			}
+		}
+		// Reference: apply upper to the materialized lower image.
+		lowerImg := image(lower, snap)
+		want := applyPDTToSlice(upper, lowerImg)
+		// Composition: propagate upper into lower, materialize once.
+		lower.Propagate(upper)
+		got := image(lower, snap)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// applyPDTToSlice materializes p over an in-memory base image.
+func applyPDTToSlice(p *PDT, base []int64) []int64 {
+	var out []int64
+	for _, seg := range p.SegmentsRID(0, p.NumTuples()) {
+		switch seg.Kind {
+		case SegInsert:
+			for _, r := range seg.Rows {
+				out = append(out, r[0].I64)
+			}
+		case SegStable:
+			for sid := seg.Lo; sid < seg.Hi; sid++ {
+				v := base[sid]
+				if mods, ok := seg.Mods[sid]; ok {
+					if mv, ok := mods[0]; ok {
+						v = mv.I64
+					}
+				}
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := New(oneColSchema(), 5)
+	p.InsertAt(0, row(1))
+	q := p.Clone()
+	q.ModifyAt(0, 0, IntVal(9))
+	snap := stableSnap(t, 5)
+	if image(p, snap)[0] != 1 {
+		t.Fatal("clone aliased storage")
+	}
+	if image(q, snap)[0] != 9 {
+		t.Fatal("clone modification lost")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	p := New(oneColSchema(), 3)
+	for name, fn := range map[string]func(){
+		"rid":      func() { p.RIDtoSID(3) },
+		"sid":      func() { p.SIDtoRIDlow(4) },
+		"insert":   func() { p.InsertAt(5, row(1)) },
+		"badRow":   func() { p.InsertAt(0, Row{FloatVal(1)}) },
+		"badCol":   func() { p.ModifyAt(0, 3, IntVal(1)) },
+		"badType":  func() { p.ModifyAt(0, 0, FloatVal(1)) },
+		"negative": func() { New(oneColSchema(), -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNumOpsCounting(t *testing.T) {
+	p := New(oneColSchema(), 10)
+	p.InsertAt(0, row(1))
+	p.DeleteAt(5)
+	p.ModifyAt(7, 0, IntVal(2))
+	if got := p.NumOps(); got != 3 {
+		t.Fatalf("NumOps = %d, want 3", got)
+	}
+}

@@ -1,0 +1,161 @@
+package pdt
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Store binds a table's stable snapshot to its shared PDT layers,
+// providing snapshot-isolated transactions over trickle updates. It
+// mirrors §2.1's three-layer design: a large shared read-PDT, a smaller
+// shared write-PDT stacked on it, and one private trans-PDT per
+// transaction on top. Only the topmost layer is copied per transaction,
+// so the memory cost of snapshot isolation stays low.
+type Store struct {
+	table  *storage.Table
+	stable *storage.Snapshot
+	read   *PDT // bottom shared layer (vs stable)
+	write  *PDT // middle shared layer (vs read's image)
+	epoch  int64
+}
+
+// NewStore creates a store over the table's current master snapshot with
+// empty PDT layers.
+func NewStore(t *storage.Table) *Store {
+	stable := t.Master()
+	read := New(t.Schema, stable.NumTuples())
+	return &Store{
+		table:  t,
+		stable: stable,
+		read:   read,
+		write:  New(t.Schema, read.NumTuples()),
+	}
+}
+
+// Stable returns the underlying stable snapshot.
+func (s *Store) Stable() *storage.Snapshot { return s.stable }
+
+// NumTuples returns the tuple count of the committed image.
+func (s *Store) NumTuples() int64 { return s.write.NumTuples() }
+
+// Tx is a snapshot-isolated transaction: it sees the committed image as of
+// Begin plus its own private changes.
+type Tx struct {
+	store *Store
+	trans *PDT // private top layer (vs the write layer's image at Begin)
+	epoch int64
+	done  bool
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Tx {
+	return &Tx{
+		store: s,
+		trans: New(s.table.Schema, s.write.NumTuples()),
+		epoch: s.epoch,
+	}
+}
+
+// NumTuples returns the tuple count visible to the transaction.
+func (tx *Tx) NumTuples() int64 { return tx.trans.NumTuples() }
+
+// Insert inserts a row at RID rid of the transaction's image.
+func (tx *Tx) Insert(rid int64, row Row) { tx.trans.InsertAt(rid, row) }
+
+// Delete removes the tuple at RID rid of the transaction's image.
+func (tx *Tx) Delete(rid int64) { tx.trans.DeleteAt(rid) }
+
+// Modify updates one column of the tuple at RID rid.
+func (tx *Tx) Modify(rid int64, col int, v Value) { tx.trans.ModifyAt(rid, col, v) }
+
+// ErrTxConflict reports a write-write conflict under first-committer-wins.
+var ErrTxConflict = errors.New("pdt: transaction conflict: table was updated concurrently")
+
+// Commit merges the trans-PDT into the shared write layer. Conflict
+// detection is first-committer-wins at table granularity: if any other
+// transaction committed to this store since Begin, the positions in the
+// trans-PDT may be stale and the transaction aborts.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return errors.New("pdt: transaction already finished")
+	}
+	tx.done = true
+	if tx.trans.Empty() {
+		return nil
+	}
+	if tx.epoch != tx.store.epoch {
+		return ErrTxConflict
+	}
+	tx.store.write.Propagate(tx.trans)
+	tx.store.epoch++
+	return nil
+}
+
+// Abort discards the transaction.
+func (tx *Tx) Abort() { tx.done = true }
+
+// Image materializes the transaction's visible table image (committed
+// state at Begin plus private changes).
+func (tx *Tx) Image() *storage.ColumnData {
+	return tx.store.imageWith(tx.trans)
+}
+
+// ImageCommitted materializes the currently committed image.
+func (s *Store) ImageCommitted() *storage.ColumnData {
+	return s.imageWith(nil)
+}
+
+// imageWith flattens stable + read + write (+ optional trans) into column
+// data. Layers are composed by cloning and propagating, which keeps the
+// shared layers untouched.
+func (s *Store) imageWith(trans *PDT) *storage.ColumnData {
+	flat := s.read.Clone()
+	flat.Propagate(s.write)
+	if trans != nil && !trans.Empty() {
+		flat.Propagate(trans)
+	}
+	return flat.Image(s.stable)
+}
+
+// Flattened returns a single PDT equivalent to the composed shared layers
+// plus the optional trans layer; scan operators use it as the merge plan
+// source for one query's snapshot.
+func (s *Store) Flattened(trans *PDT) *PDT {
+	flat := s.read.Clone()
+	flat.Propagate(s.write)
+	if trans != nil && !trans.Empty() {
+		flat.Propagate(trans)
+	}
+	return flat
+}
+
+// PropagateWriteToRead folds the shared write layer into the read layer
+// (the background maintenance Vectorwise performs as the write-PDT
+// grows).
+func (s *Store) PropagateWriteToRead() {
+	if s.write.Empty() {
+		return
+	}
+	s.read.Propagate(s.write)
+	s.write = New(s.table.Schema, s.read.NumTuples())
+	s.epoch++
+}
+
+// Checkpoint migrates all PDT contents to disk, creating a new stable
+// table version with fresh pages (§2.1, Figure 7), and resets the layers.
+// Readers holding the old snapshot keep working; new transactions see the
+// new version.
+func (s *Store) Checkpoint() (*storage.Snapshot, error) {
+	data := s.ImageCommitted()
+	snap, err := s.table.Checkpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("pdt: checkpoint: %w", err)
+	}
+	s.stable = snap
+	s.read = New(s.table.Schema, snap.NumTuples())
+	s.write = New(s.table.Schema, s.read.NumTuples())
+	s.epoch++
+	return snap, nil
+}

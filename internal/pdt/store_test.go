@@ -1,0 +1,210 @@
+package pdt
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func storeFixture(t testing.TB, n int) (*Store, *storage.Table) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	tb, err := cat.CreateTable("t", oneColSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := storage.NewColumnData()
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	d.I64[0] = vals
+	s, err := tb.Master().Append(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return NewStore(tb), tb
+}
+
+func TestTxCommitVisible(t *testing.T) {
+	s, _ := storeFixture(t, 5)
+	tx := s.Begin()
+	tx.Insert(0, row(100))
+	tx.Modify(3, 0, IntVal(99)) // position 3 of tx image = stable tuple 2
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.ImageCommitted().I64[0]
+	want := []int64{100, 0, 1, 99, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTxIsolation(t *testing.T) {
+	s, _ := storeFixture(t, 3)
+	tx := s.Begin()
+	tx.Delete(0)
+	// Uncommitted: committed image unchanged.
+	if got := s.ImageCommitted().I64[0]; len(got) != 3 {
+		t.Fatalf("committed image leaked: %v", got)
+	}
+	// The transaction sees its own change.
+	if got := tx.Image().I64[0]; len(got) != 2 || got[0] != 1 {
+		t.Fatalf("tx image = %v", got)
+	}
+	tx.Abort()
+	if got := s.ImageCommitted().I64[0]; len(got) != 3 {
+		t.Fatalf("abort changed state: %v", got)
+	}
+}
+
+func TestTxFirstCommitterWins(t *testing.T) {
+	s, _ := storeFixture(t, 4)
+	t1 := s.Begin()
+	t2 := s.Begin()
+	t1.Delete(1)
+	t2.Modify(1, 0, IntVal(77))
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != ErrTxConflict {
+		t.Fatalf("second commit err = %v, want conflict", err)
+	}
+}
+
+func TestReadOnlyTxNeverConflicts(t *testing.T) {
+	s, _ := storeFixture(t, 4)
+	t1 := s.Begin()
+	t2 := s.Begin()
+	t1.Delete(0)
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("empty commit err = %v", err)
+	}
+}
+
+func TestDoubleCommitRejected(t *testing.T) {
+	s, _ := storeFixture(t, 4)
+	tx := s.Begin()
+	tx.Delete(0)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("double commit accepted")
+	}
+}
+
+func TestPropagateWriteToRead(t *testing.T) {
+	s, _ := storeFixture(t, 4)
+	tx := s.Begin()
+	tx.Insert(4, row(40))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.ImageCommitted().I64[0]
+	s.PropagateWriteToRead()
+	after := s.ImageCommitted().I64[0]
+	if len(before) != len(after) {
+		t.Fatalf("propagate changed image: %v vs %v", before, after)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("propagate changed image at %d", i)
+		}
+	}
+	if !s.write.Empty() {
+		t.Fatal("write layer not reset")
+	}
+}
+
+func TestCheckpointCreatesNewVersion(t *testing.T) {
+	s, tb := storeFixture(t, 4)
+	tx := s.Begin()
+	tx.Modify(2, 0, IntVal(222))
+	tx.Insert(0, row(-1))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	oldVersion := tb.Master().Version()
+	snap, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version() != oldVersion+1 {
+		t.Fatalf("version = %d", snap.Version())
+	}
+	// After checkpoint the PDTs are empty and the stable data includes
+	// the updates.
+	if !s.read.Empty() || !s.write.Empty() {
+		t.Fatal("layers not reset")
+	}
+	got := snap.ReadInt64(0, 0, snap.NumTuples(), nil)
+	want := []int64{-1, 0, 1, 222, 3}
+	if len(got) != len(want) {
+		t.Fatalf("stable = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stable = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTxAfterCheckpointSeesNewVersion(t *testing.T) {
+	s, _ := storeFixture(t, 3)
+	tx := s.Begin()
+	tx.Delete(0)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := s.Begin()
+	if tx2.NumTuples() != 2 {
+		t.Fatalf("tuples = %d, want 2", tx2.NumTuples())
+	}
+	tx2.Insert(0, row(5))
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.ImageCommitted().I64[0]
+	want := []int64{5, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFlattenedMatchesImage(t *testing.T) {
+	s, _ := storeFixture(t, 6)
+	tx := s.Begin()
+	tx.Delete(1)
+	tx.Insert(2, row(50))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := s.Begin()
+	tx2.Modify(0, 0, IntVal(42))
+	flat := s.Flattened(tx2.trans)
+	got := flat.Image(s.Stable()).I64[0]
+	want := tx2.Image().I64[0]
+	if len(got) != len(want) {
+		t.Fatalf("flattened %v vs image %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flattened %v vs image %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+// Resource models a counting semaphore in virtual time: a fixed number of
+// interchangeable units that processes acquire and release. Waiters are
+// served FIFO, which keeps simulations deterministic.
+type Resource struct {
+	e        *Engine
+	capacity int
+	inUse    int
+	waiters  []*proc
+}
+
+// NewResource creates a resource with the given number of units.
+func (e *Engine) NewResource(capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{e: e, capacity: capacity}
+}
+
+// Acquire takes one unit, blocking in virtual time until one is free.
+func (r *Resource) Acquire() {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	self := r.e.mustCurrent("Resource.Acquire")
+	r.waiters = append(r.waiters, self)
+	r.e.yield(self)
+	// The releaser transferred its unit to us before waking us.
+}
+
+// Release returns one unit, waking the oldest waiter if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release without Acquire")
+	}
+	if len(r.waiters) > 0 {
+		// Hand the unit directly to the oldest waiter; inUse is unchanged.
+		p := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.e.ready = append(r.e.ready, p)
+		return
+	}
+	r.inUse--
+}
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Capacity reports the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }

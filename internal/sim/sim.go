@@ -1,0 +1,238 @@
+// Package sim implements a deterministic, cooperative discrete-event
+// simulation engine with a virtual clock.
+//
+// The engine runs each simulated process on its own goroutine but enforces
+// strictly cooperative scheduling: exactly one process executes at any
+// moment, and control is handed over explicitly when a process sleeps,
+// waits on an event, or terminates. Ties between timers that expire at the
+// same virtual instant are broken by creation order. Together these rules
+// make every simulation bit-reproducible, which the experiment harness
+// relies on.
+//
+// All Engine methods except Run must be called either before Run starts or
+// from within a running process; the engine's state is only ever touched by
+// the single running process, so no locking is needed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It is convertible to
+// and from time.Duration.
+type Duration = time.Duration
+
+// Seconds renders t as fractional seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+type proc struct {
+	name string
+	wake chan struct{}
+}
+
+type timer struct {
+	at  Time
+	seq uint64
+	p   *proc
+}
+
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a virtual-time discrete-event scheduler.
+type Engine struct {
+	now     Time
+	seq     uint64
+	ready   []*proc
+	timers  timerHeap
+	current *proc
+	alive   int
+	done    chan struct{}
+	main    *proc // sentinel representing the caller of Run
+	running bool
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{done: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Go spawns fn as a simulated process. It may be called before Run or from
+// within a running process. The process does not start executing until the
+// scheduler hands it the execution token.
+func (e *Engine) Go(name string, fn func()) {
+	p := &proc{name: name, wake: make(chan struct{})}
+	e.alive++
+	e.ready = append(e.ready, p)
+	go func() {
+		<-p.wake
+		fn()
+		e.exit()
+	}()
+}
+
+// exit terminates the current process and hands control to the next
+// runnable process, or wakes the Run caller when the simulation drains.
+func (e *Engine) exit() {
+	e.alive--
+	next := e.next()
+	if next == nil {
+		if e.alive > 0 {
+			panic(fmt.Sprintf("sim: deadlock: %d processes blocked with no pending timers", e.alive))
+		}
+		e.current = nil
+		e.done <- struct{}{}
+		return
+	}
+	e.current = next
+	next.wake <- struct{}{}
+}
+
+// next picks the next runnable process, advancing the clock to the earliest
+// timer if the ready queue is empty. It returns nil when nothing can run.
+func (e *Engine) next() *proc {
+	if len(e.ready) > 0 {
+		p := e.ready[0]
+		e.ready = e.ready[1:]
+		return p
+	}
+	if len(e.timers) > 0 {
+		t := heap.Pop(&e.timers).(timer)
+		if t.at > e.now {
+			e.now = t.at
+		}
+		return t.p
+	}
+	return nil
+}
+
+// yield blocks the current process (which must already have parked itself
+// in a timer or event wait list) and transfers control. When the
+// scheduler picks the yielding process itself as the next runnable (it
+// was the earliest timer and nothing else is ready), control simply
+// stays with it — the clock has already advanced in next().
+func (e *Engine) yield(self *proc) {
+	next := e.next()
+	if next == nil {
+		panic(fmt.Sprintf("sim: deadlock: process %q blocked with nothing runnable", self.name))
+	}
+	if next == self {
+		e.current = self
+		return
+	}
+	e.current = next
+	next.wake <- struct{}{}
+	<-self.wake
+}
+
+// Sleep suspends the current process for d of virtual time. Negative or
+// zero durations still yield, waking at the current instant after other
+// already-runnable processes.
+func (e *Engine) Sleep(d Duration) {
+	self := e.mustCurrent("Sleep")
+	at := e.now
+	if d > 0 {
+		at += Time(d)
+	}
+	e.seq++
+	heap.Push(&e.timers, timer{at: at, seq: e.seq, p: self})
+	e.yield(self)
+}
+
+// SleepUntil suspends the current process until virtual time t (or yields
+// immediately if t is in the past).
+func (e *Engine) SleepUntil(t Time) {
+	self := e.mustCurrent("SleepUntil")
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.timers, timer{at: t, seq: e.seq, p: self})
+	e.yield(self)
+}
+
+// Yield lets other runnable processes execute at the current instant.
+func (e *Engine) Yield() { e.Sleep(0) }
+
+func (e *Engine) mustCurrent(op string) *proc {
+	if e.current == nil {
+		panic("sim: " + op + " called from outside a simulated process")
+	}
+	return e.current
+}
+
+// Run executes the simulation until every process has terminated. It must
+// be called exactly once, from the (real) goroutine that created the
+// engine. It panics if a deadlock is detected.
+func (e *Engine) Run() {
+	if e.running {
+		panic("sim: Run called twice")
+	}
+	e.running = true
+	if e.alive == 0 {
+		return
+	}
+	next := e.next()
+	e.current = next
+	next.wake <- struct{}{}
+	<-e.done
+}
+
+// Event is a broadcast synchronization point. Processes Wait on it; a Fire
+// wakes every current waiter. Events are reusable: waiters that arrive
+// after a Fire block until the next Fire.
+type Event struct {
+	e       *Engine
+	waiters []*proc
+}
+
+// NewEvent creates an event bound to the engine.
+func (e *Engine) NewEvent() *Event { return &Event{e: e} }
+
+// Wait suspends the current process until the next Fire.
+func (ev *Event) Wait() {
+	self := ev.e.mustCurrent("Event.Wait")
+	ev.waiters = append(ev.waiters, self)
+	ev.e.yield(self)
+}
+
+// Fire wakes all processes currently waiting on the event. The waiters are
+// appended to the ready queue in their arrival order; the caller keeps
+// running.
+func (ev *Event) Fire() {
+	if len(ev.waiters) == 0 {
+		return
+	}
+	ev.e.ready = append(ev.e.ready, ev.waiters...)
+	ev.waiters = nil
+}
+
+// WaiterCount reports how many processes are currently blocked on the event.
+func (ev *Event) WaiterCount() int { return len(ev.waiters) }

@@ -1,0 +1,36 @@
+package sim
+
+// WaitGroup counts outstanding work in virtual time, with the same
+// contract as sync.WaitGroup but cooperative: Wait suspends the calling
+// process until the counter reaches zero.
+type WaitGroup struct {
+	e  *Engine
+	n  int
+	ev *Event
+}
+
+// NewWaitGroup creates a WaitGroup bound to the engine.
+func (e *Engine) NewWaitGroup() *WaitGroup {
+	return &WaitGroup{e: e, ev: e.NewEvent()}
+}
+
+// Add increments the counter by delta.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		w.ev.Fire()
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait suspends the current process until the counter is zero.
+func (w *WaitGroup) Wait() {
+	for w.n > 0 {
+		w.ev.Wait()
+	}
+}

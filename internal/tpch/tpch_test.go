@@ -1,0 +1,240 @@
+package tpch
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/exec"
+	"repro/internal/iosim"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func testDB(t testing.TB) *DB {
+	t.Helper()
+	return Generate(0.005, 1)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(0.005, 7)
+	b := Generate(0.005, 7)
+	sa, sb := a.Snapshot("lineitem"), b.Snapshot("lineitem")
+	if sa.NumTuples() != sb.NumTuples() {
+		t.Fatalf("tuple counts differ: %d vs %d", sa.NumTuples(), sb.NumTuples())
+	}
+	va := sa.ReadFloat64(a.Col("lineitem", "l_extendedprice"), 0, 100, nil)
+	vb := sb.ReadFloat64(b.Col("lineitem", "l_extendedprice"), 0, 100, nil)
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+}
+
+func TestSchemaShape(t *testing.T) {
+	db := testDB(t)
+	wantTables := []string{"region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"}
+	totalCols := 0
+	for _, name := range wantTables {
+		snap := db.Snapshot(name)
+		totalCols += len(snap.Table().Schema)
+		if snap.NumTuples() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	if totalCols != 61 {
+		t.Fatalf("total columns = %d, want 61 (TPC-H)", totalCols)
+	}
+	if db.Snapshot("nation").NumTuples() != 25 || db.Snapshot("region").NumTuples() != 5 {
+		t.Fatal("fixed-size tables wrong")
+	}
+}
+
+func TestRowMultipliers(t *testing.T) {
+	db := Generate(0.01, 3)
+	ps := db.Snapshot("partsupp").NumTuples()
+	p := db.Snapshot("part").NumTuples()
+	if ps != 4*p {
+		t.Fatalf("partsupp = %d, want 4x part (%d)", ps, p)
+	}
+	l := db.Snapshot("lineitem").NumTuples()
+	o := db.Snapshot("orders").NumTuples()
+	ratio := float64(l) / float64(o)
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("lineitem/orders = %v, want ~4", ratio)
+	}
+}
+
+func TestDateEncoding(t *testing.T) {
+	if Date(1992, 1, 1) != 0 {
+		t.Fatalf("epoch = %d", Date(1992, 1, 1))
+	}
+	if Date(1992, 1, 2) != 1 || Date(1992, 2, 1) != 31 {
+		t.Fatal("day arithmetic wrong")
+	}
+	if Date(1993, 1, 1) != 366 { // 1992 is a leap year
+		t.Fatalf("1993-01-01 = %d, want 366", Date(1993, 1, 1))
+	}
+	if Date(1998, 12, 31) > DateMax {
+		t.Fatalf("DateMax too small: %d", Date(1998, 12, 31))
+	}
+}
+
+func TestDatesWithinRange(t *testing.T) {
+	db := testDB(t)
+	snap := db.Snapshot("lineitem")
+	ship := snap.ReadInt64(db.Col("lineitem", "l_shipdate"), 0, snap.NumTuples(), nil)
+	for i, d := range ship {
+		if d < 0 || d > DateMax+160 {
+			t.Fatalf("shipdate[%d] = %d out of range", i, d)
+		}
+	}
+}
+
+// planEnv wires a minimal environment to execute plans against a DB.
+type planEnv struct {
+	eng *sim.Engine
+	ctx *exec.Ctx
+}
+
+func newPlanEnv(t testing.TB) *planEnv {
+	t.Helper()
+	eng := sim.NewEngine()
+	disk := iosim.New(eng, iosim.Config{Bandwidth: 2e9, SeekLatency: 10 * time.Microsecond})
+	pool := buffer.NewPool(eng, disk, buffer.NewLRU(), 1<<31)
+	return &planEnv{eng: eng, ctx: &exec.Ctx{Eng: eng, Pool: pool, ReadAheadTuples: 16384}}
+}
+
+func (pe *planEnv) scanBuilder(db *DB) ScanBuilder {
+	return func(table string, cols []string, ranges []exec.RIDRange, inOrder bool) exec.Op {
+		snap := db.Snapshot(table)
+		idx := make([]int, len(cols))
+		for i, c := range cols {
+			idx[i] = db.Col(table, c)
+		}
+		if ranges == nil {
+			ranges = []exec.RIDRange{{Lo: 0, Hi: snap.NumTuples()}}
+		}
+		return &exec.Scan{Ctx: pe.ctx, Snap: snap, Cols: idx, Ranges: ranges}
+	}
+}
+
+func TestQ1MatchesReference(t *testing.T) {
+	db := testDB(t)
+	pe := newPlanEnv(t)
+	var got *exec.Batch
+	pe.eng.Go("q", func() {
+		got = exec.Collect(Q1(nil)(db, pe.scanBuilder(db)))
+	})
+	pe.eng.Run()
+	if got.N == 0 || got.N > 6 {
+		t.Fatalf("Q1 groups = %d, want <= 6 (flag x status)", got.N)
+	}
+	// Reference computation straight from storage.
+	snap := db.Snapshot("lineitem")
+	n := snap.NumTuples()
+	rf := snap.ReadString(db.Col("lineitem", "l_returnflag"), 0, n, nil)
+	ls := snap.ReadString(db.Col("lineitem", "l_linestatus"), 0, n, nil)
+	qty := snap.ReadFloat64(db.Col("lineitem", "l_quantity"), 0, n, nil)
+	ship := snap.ReadInt64(db.Col("lineitem", "l_shipdate"), 0, n, nil)
+	wantQty := make(map[string]float64)
+	wantCnt := make(map[string]int64)
+	for i := range rf {
+		if ship[i] <= DateMax-90 {
+			key := rf[i] + "|" + ls[i] + "|"
+			wantQty[key] += qty[i]
+			wantCnt[key]++
+		}
+	}
+	if len(wantQty) != got.N {
+		t.Fatalf("groups = %d, want %d", got.N, len(wantQty))
+	}
+	for i := 0; i < got.N; i++ {
+		key := got.Vecs[0].Str[i] + "|" + got.Vecs[1].Str[i] + "|"
+		if got.Vecs[2].F64[i] != wantQty[key] {
+			t.Errorf("group %s sum_qty = %v, want %v", key, got.Vecs[2].F64[i], wantQty[key])
+		}
+		if got.Vecs[9].I64[i] != wantCnt[key] {
+			t.Errorf("group %s count = %d, want %d", key, got.Vecs[9].I64[i], wantCnt[key])
+		}
+	}
+}
+
+func TestQ6MatchesReference(t *testing.T) {
+	db := testDB(t)
+	pe := newPlanEnv(t)
+	var got *exec.Batch
+	pe.eng.Go("q", func() {
+		got = exec.Collect(Q6(nil)(db, pe.scanBuilder(db)))
+	})
+	pe.eng.Run()
+	snap := db.Snapshot("lineitem")
+	n := snap.NumTuples()
+	ship := snap.ReadInt64(db.Col("lineitem", "l_shipdate"), 0, n, nil)
+	disc := snap.ReadFloat64(db.Col("lineitem", "l_discount"), 0, n, nil)
+	qty := snap.ReadFloat64(db.Col("lineitem", "l_quantity"), 0, n, nil)
+	price := snap.ReadFloat64(db.Col("lineitem", "l_extendedprice"), 0, n, nil)
+	var want float64
+	for i := range ship {
+		if ship[i] >= Date(1994, 1, 1) && ship[i] < Date(1995, 1, 1) &&
+			disc[i] >= 0.05 && disc[i] <= 0.07 && qty[i] < 24 {
+			want += price[i] * disc[i]
+		}
+	}
+	if got.N != 1 {
+		t.Fatalf("Q6 rows = %d", got.N)
+	}
+	diff := got.Vecs[0].F64[0] - want
+	if diff < -1e-6 || diff > 1e-6 {
+		t.Fatalf("Q6 = %v, want %v", got.Vecs[0].F64[0], want)
+	}
+}
+
+// TestAll22QueriesRun executes every throughput query end to end and
+// checks it produces a sane (possibly empty) result without panicking.
+func TestAll22QueriesRun(t *testing.T) {
+	db := testDB(t)
+	for qi, plan := range Queries() {
+		qi, plan := qi, plan
+		pe := newPlanEnv(t)
+		var rows int64
+		pe.eng.Go("q", func() {
+			rows = exec.Drain(plan(db, pe.scanBuilder(db)))
+		})
+		pe.eng.Run()
+		if rows < 0 {
+			t.Errorf("Q%d returned negative rows", qi+1)
+		}
+	}
+}
+
+func TestQueriesTouchExpectedTables(t *testing.T) {
+	db := testDB(t)
+	touched := make(map[string]bool)
+	rec := func(table string, cols []string, ranges []exec.RIDRange, inOrder bool) exec.Op {
+		touched[table] = true
+		types := make([]storage.ColumnType, len(cols))
+		for i, c := range cols {
+			types[i] = db.Snapshot(table).Table().Schema[db.Col(table, c)].Type
+		}
+		return &nullOp{types: types}
+	}
+	for _, plan := range Queries() {
+		op := plan(db, rec)
+		op.Open()
+		op.Close()
+	}
+	for _, want := range []string{"lineitem", "orders", "customer", "part", "partsupp", "supplier", "nation"} {
+		if !touched[want] {
+			t.Errorf("no query touches %s", want)
+		}
+	}
+}
+
+type nullOp struct{ types []storage.ColumnType }
+
+func (n *nullOp) Open()                        {}
+func (n *nullOp) Next() *exec.Batch            { return nil }
+func (n *nullOp) Close()                       {}
+func (n *nullOp) Schema() []storage.ColumnType { return n.types }

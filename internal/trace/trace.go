@@ -1,0 +1,44 @@
+// Package trace records page-reference traces from a live run so they can
+// be replayed offline (the paper replays the PBM run's trace under OPT).
+package trace
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/opt"
+	"repro/internal/storage"
+)
+
+// Recorder accumulates page references in request order.
+type Recorder struct {
+	refs []opt.Ref
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Attach hooks the recorder into a pool's OnAccess callback, chaining any
+// existing hook.
+func (r *Recorder) Attach(pool *buffer.Pool) {
+	prev := pool.OnAccess
+	pool.OnAccess = func(p *storage.Page) {
+		r.refs = append(r.refs, opt.Ref{Page: p.ID, Bytes: p.Bytes})
+		if prev != nil {
+			prev(p)
+		}
+	}
+}
+
+// Record appends one reference directly (used by the chunk-granularity
+// ABM path, which bypasses the page pool).
+func (r *Recorder) Record(p *storage.Page) {
+	r.refs = append(r.refs, opt.Ref{Page: p.ID, Bytes: p.Bytes})
+}
+
+// Refs returns the recorded trace.
+func (r *Recorder) Refs() []opt.Ref { return r.refs }
+
+// Len returns the number of recorded references.
+func (r *Recorder) Len() int { return len(r.refs) }
+
+// Reset clears the trace.
+func (r *Recorder) Reset() { r.refs = r.refs[:0] }

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/exec"
+	"repro/internal/sim"
+	"repro/internal/tpch"
+)
+
+// microColumns is the union of columns the microbenchmark queries (Q1 and
+// Q6) access on lineitem; the accessed data volume of §4.1 is their total
+// byte size (Q6's columns are a subset of Q1's).
+var microColumns = []string{
+	"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+	"l_discount", "l_tax", "l_shipdate",
+}
+
+// MicroAccessedBytes returns the §4.1 accessed data volume for a
+// generated database.
+func MicroAccessedBytes(db *tpch.DB) int64 {
+	snap := db.Snapshot("lineitem")
+	cols := make([]int, len(microColumns))
+	for i, c := range microColumns {
+		cols[i] = db.Col("lineitem", c)
+	}
+	return snap.TotalBytes(cols)
+}
+
+// RunMicro executes the §4.1 microbenchmark: Streams concurrent streams
+// of QueriesPerStream queries, each a Q1 or Q6 over a random range whose
+// size is drawn from RangePercents, with ThreadsPerQuery-way parallel
+// plans (Equation 1 partitioning).
+func RunMicro(db *tpch.DB, cfg Config) *Result {
+	if cfg.QueriesPerStream <= 0 {
+		cfg.QueriesPerStream = 16
+	}
+	accessed := MicroAccessedBytes(db)
+	e := newEnv(cfg, accessed)
+	build := e.builder(db)
+	n := db.Snapshot("lineitem").NumTuples()
+
+	streamEnds := make([]sim.Time, cfg.Streams)
+	wg := e.eng.NewWaitGroup()
+	stopSampler := e.sharingSampler()
+	for s := 0; s < cfg.Streams; s++ {
+		s := s
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(s)*7919))
+		wg.Add(1)
+		e.eng.Go("stream", func() {
+			defer wg.Done()
+			for q := 0; q < cfg.QueriesPerStream; q++ {
+				pct := cfg.RangePercents[rng.Intn(len(cfg.RangePercents))]
+				r := randRange(rng, n, pct)
+				useQ1 := rng.Intn(2) == 0
+				exec.Drain(e.microPlan(db, build, r, useQ1))
+			}
+			streamEnds[s] = e.eng.Now()
+		})
+	}
+	e.eng.Go("driver", func() {
+		wg.Wait()
+		stopSampler.Fire()
+		if e.abm != nil {
+			e.abm.Stop()
+		}
+	})
+	e.eng.Run()
+	return e.finish(streamEnds)
+}
+
+// microPlan builds a parallel Q1 or Q6 plan over the given range: the
+// range is statically partitioned per Equation 1, each partition runs the
+// scan+select+partial-aggregation subtree, and a final aggregation merges
+// them — the Figure 8 plan transformation.
+func (e *env) microPlan(db *tpch.DB, build tpch.ScanBuilder, r exec.RIDRange, useQ1 bool) exec.Op {
+	threads := e.cfg.ThreadsPerQuery
+	if threads <= 1 {
+		if useQ1 {
+			return tpch.Q1([]exec.RIDRange{r})(db, build)
+		}
+		return tpch.Q6([]exec.RIDRange{r})(db, build)
+	}
+	parts := make([]func() exec.Op, 0, threads)
+	for _, pr := range exec.PartitionRange(r.Lo, r.Hi, threads) {
+		pr := pr
+		parts = append(parts, func() exec.Op {
+			if useQ1 {
+				return tpch.Q1([]exec.RIDRange{pr})(db, build)
+			}
+			return tpch.Q6([]exec.RIDRange{pr})(db, build)
+		})
+	}
+	merged := e.parallel(parts)
+	if useQ1 {
+		// Partial Q1 aggregates share the group-by schema: re-aggregate.
+		return &exec.HashAggr{
+			Child:  merged,
+			Groups: []int{0, 1},
+			Aggs: []exec.AggSpec{
+				{Kind: exec.AggSum, Col: 2}, {Kind: exec.AggSum, Col: 3},
+				{Kind: exec.AggSum, Col: 4}, {Kind: exec.AggSum, Col: 5},
+				{Kind: exec.AggSum, Col: 9},
+			},
+		}
+	}
+	return &exec.HashAggr{Child: merged, Aggs: []exec.AggSpec{{Kind: exec.AggSum, Col: 0}}}
+}

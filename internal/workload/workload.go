@@ -1,0 +1,340 @@
+// Package workload drives the paper's experiments: concurrent query
+// streams over the simulated engine under each buffer-management policy,
+// measuring average stream time and total I/O volume (§4), plus the
+// sharing-potential analysis of Figures 17 and 18.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/abm"
+	"repro/internal/buffer"
+	"repro/internal/exec"
+	"repro/internal/iosim"
+	"repro/internal/opt"
+	"repro/internal/pbm"
+	"repro/internal/sim"
+	"repro/internal/tpch"
+	"repro/internal/trace"
+)
+
+// Policy selects the buffer-management strategy under test.
+type Policy int
+
+// Policies compared in the paper's evaluation (plus the classic MRU/Clock
+// baselines and the PBM/LRU future-work variant).
+const (
+	LRU Policy = iota
+	MRU
+	Clock
+	PBM
+	PBMLRU
+	CScan
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case MRU:
+		return "MRU"
+	case Clock:
+		return "Clock"
+	case PBM:
+		return "PBM"
+	case PBMLRU:
+		return "PBM/LRU"
+	case CScan:
+		return "CScans"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Config parameterizes one experiment run.
+type Config struct {
+	Policy Policy
+	// BufferFrac sizes the pool as a fraction of the accessed data
+	// volume (the x-axis of Figures 11 and 14).
+	BufferFrac float64
+	// BandwidthMB is the simulated disk bandwidth in MB/s (Figures 12/15).
+	BandwidthMB float64
+	// Streams is the number of concurrent query streams (Figures 13/16).
+	Streams int
+	// QueriesPerStream is the batch length per stream (16 in §4.1).
+	QueriesPerStream int
+	// ThreadsPerQuery is the XChg fan-out for parallelizable plans (§2.2).
+	ThreadsPerQuery int
+	// Cores is the CPU core count of the simulated machine.
+	Cores int
+	// PerTupleCPU is the virtual CPU cost per scanned tuple.
+	PerTupleCPU sim.Duration
+	// Seed drives all randomized workload choices.
+	Seed int64
+	// ChunkTuples is the ABM chunk granularity.
+	ChunkTuples int64
+	// RangePercents is the menu of scan-range sizes (percent of table)
+	// the microbenchmark draws from.
+	RangePercents []int
+	// TraceForOPT records the page reference trace (order-preserving
+	// policies only) so the caller can replay it under Belady's OPT.
+	TraceForOPT bool
+	// SharingSampler, when positive, samples the sharing-potential
+	// histogram every interval (PBM-family policies only).
+	SharingSampler sim.Duration
+	// Throttle enables the §5 PBM attach&throttle extension.
+	Throttle bool
+}
+
+// DefaultMicroConfig returns §4.1's defaults: 8 streams, 16-query
+// batches, buffer 40% of accessed volume, 700 MB/s, 8 threads/query.
+func DefaultMicroConfig() Config {
+	return Config{
+		Policy:           PBM,
+		BufferFrac:       0.4,
+		BandwidthMB:      700,
+		Streams:          8,
+		QueriesPerStream: 16,
+		ThreadsPerQuery:  8,
+		Cores:            8,
+		PerTupleCPU:      60 * time.Nanosecond,
+		Seed:             42,
+		// Chunks are sized relative to the scaled-down tables: ~0.7% of
+		// lineitem at the default SF, matching the paper's chunk/table
+		// ratio on its 30 GB dataset.
+		ChunkTuples:   2048,
+		RangePercents: []int{1, 10, 50, 100},
+	}
+}
+
+// DefaultTPCHConfig returns §4.2's defaults: buffer 30% of accessed
+// volume, 600 MB/s, 8 streams.
+func DefaultTPCHConfig() Config {
+	cfg := DefaultMicroConfig()
+	cfg.BufferFrac = 0.3
+	cfg.BandwidthMB = 600
+	cfg.QueriesPerStream = 0 // one pass over all 22 queries
+	return cfg
+}
+
+// SharingSample is one point of the Figure 17/18 series: the byte volume
+// currently wanted by exactly 1, 2, 3, and >=4 active scans.
+type SharingSample struct {
+	T     sim.Time
+	Bytes [4]int64 // index 0 => 1 scan, 3 => >=4 scans
+}
+
+// Result reports one experiment run.
+type Result struct {
+	Policy        string
+	AvgStreamSec  float64
+	MaxStreamSec  float64
+	TotalIOBytes  int64
+	AccessedBytes int64
+	BufferBytes   int64
+	Trace         []opt.Ref
+	Sharing       []SharingSample
+	PoolStats     buffer.Stats
+	ABMStats      abm.Stats
+}
+
+// OPTIOBytes replays the run's trace under Belady's OPT (§4's
+// methodology) and returns the optimal I/O volume for the same buffer.
+func (r *Result) OPTIOBytes() int64 {
+	if len(r.Trace) == 0 {
+		return 0
+	}
+	return opt.Simulate(r.Trace, r.BufferBytes).BytesLoaded
+}
+
+// env wires one simulation instance for a config.
+type env struct {
+	cfg    Config
+	eng    *sim.Engine
+	disk   *iosim.Disk
+	pool   *buffer.Pool
+	pbm    *pbm.PBM
+	abm    *abm.ABM
+	ctx    *exec.Ctx
+	rec    *trace.Recorder
+	result *Result
+}
+
+func newEnv(cfg Config, accessedBytes int64) *env {
+	e := &env{cfg: cfg, eng: sim.NewEngine(), result: &Result{Policy: cfg.Policy.String()}}
+	e.disk = iosim.New(e.eng, iosim.Config{
+		Bandwidth:   cfg.BandwidthMB * 1e6,
+		SeekLatency: 50 * time.Microsecond,
+	})
+	capBytes := int64(cfg.BufferFrac * float64(accessedBytes))
+	if capBytes < 256<<10 {
+		capBytes = 256 << 10
+	}
+	e.result.BufferBytes = capBytes
+	e.result.AccessedBytes = accessedBytes
+
+	e.ctx = &exec.Ctx{
+		Eng:             e.eng,
+		CPU:             exec.NewCPU(e.eng, cfg.Cores),
+		PerTupleCPU:     cfg.PerTupleCPU,
+		ReadAheadTuples: 8192,
+	}
+	switch cfg.Policy {
+	case CScan:
+		e.abm = abm.New(e.eng, e.disk, abm.Config{
+			ChunkTuples: cfg.ChunkTuples,
+			Capacity:    capBytes,
+		})
+		e.ctx.ABM = e.abm
+	default:
+		var pol buffer.Policy
+		switch cfg.Policy {
+		case LRU:
+			pol = buffer.NewLRU()
+		case MRU:
+			pol = buffer.NewMRU()
+		case Clock:
+			pol = buffer.NewClock()
+		case PBM, PBMLRU:
+			pc := pbm.DefaultConfig()
+			// The bucket timeline must resolve the simulation's
+			// timescale: queries at the scaled-down data volume finish in
+			// milliseconds, so a paper-scale 100 ms slice would fold all
+			// estimates into bucket zero.
+			pc.TimeSlice = 500 * time.Microsecond
+			pc.NumGroups = 12
+			pc.DefaultSpeed = 1e8
+			pc.LRUMode = cfg.Policy == PBMLRU
+			p := pbm.New(e.eng, pc)
+			if cfg.Throttle {
+				tc := pbm.DefaultThrottleConfig()
+				tc.Enabled = true
+				p.SetThrottle(tc)
+			}
+			e.pbm = p
+			pol = p
+		}
+		e.pool = buffer.NewPool(e.eng, e.disk, pol, capBytes)
+		e.ctx.Pool = e.pool
+		e.ctx.PBM = e.pbm
+	}
+	if cfg.TraceForOPT && e.pool != nil {
+		e.rec = trace.NewRecorder()
+		e.rec.Attach(e.pool)
+	}
+	return e
+}
+
+// builder returns the ScanBuilder matching the policy: Scan through the
+// pool, or CScan through the ABM.
+func (e *env) builder(db *tpch.DB) tpch.ScanBuilder {
+	return func(table string, cols []string, ranges []exec.RIDRange, inOrder bool) exec.Op {
+		snap := db.Snapshot(table)
+		idx := make([]int, len(cols))
+		for i, c := range cols {
+			idx[i] = db.Col(table, c)
+		}
+		if ranges == nil {
+			ranges = []exec.RIDRange{{Lo: 0, Hi: snap.NumTuples()}}
+		}
+		if e.abm != nil {
+			return &exec.CScan{Ctx: e.ctx, Snap: snap, Cols: idx, Ranges: ranges, InOrder: inOrder}
+		}
+		return &exec.Scan{Ctx: e.ctx, Snap: snap, Cols: idx, Ranges: ranges}
+	}
+}
+
+// parallelScanPlan wraps a per-partition plan factory in an XChg per §2.2.
+func (e *env) parallel(parts []func() exec.Op) exec.Op {
+	if len(parts) == 1 {
+		return parts[0]()
+	}
+	return &exec.XChg{Ctx: e.ctx, Parts: parts}
+}
+
+// finish collects run metrics. streamEnds holds each stream's completion
+// time.
+func (e *env) finish(streamEnds []sim.Time) *Result {
+	var sum, max sim.Time
+	for _, t := range streamEnds {
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	if n := len(streamEnds); n > 0 {
+		e.result.AvgStreamSec = (sum / sim.Time(len(streamEnds))).Seconds()
+	}
+	e.result.MaxStreamSec = max.Seconds()
+	if e.pool != nil {
+		e.result.PoolStats = e.pool.Stats()
+		e.result.TotalIOBytes = e.pool.Stats().BytesLoaded
+	}
+	if e.abm != nil {
+		e.result.ABMStats = e.abm.Stats()
+		e.result.TotalIOBytes = e.abm.Stats().BytesLoaded
+	}
+	if e.rec != nil {
+		e.result.Trace = e.rec.Refs()
+	}
+	return e.result
+}
+
+// sharingSampler starts the Figure 17/18 sampler process; stop it by
+// firing the returned event after the streams complete.
+func (e *env) sharingSampler() *sim.Event {
+	stop := e.eng.NewEvent()
+	if e.cfg.SharingSampler <= 0 || e.pbm == nil {
+		return stop
+	}
+	done := false
+	sample := func() {
+		counts := e.pbm.SharingVolumes()
+		var s SharingSample
+		s.T = e.eng.Now()
+		s.Bytes[0] = counts[1]
+		s.Bytes[1] = counts[2]
+		s.Bytes[2] = counts[3]
+		s.Bytes[3] = counts[4]
+		e.result.Sharing = append(e.result.Sharing, s)
+	}
+	e.eng.Go("sharing-sampler", func() {
+		e.eng.Go("sharing-stop", func() {
+			stop.Wait()
+			done = true
+		})
+		// An early sample catches short runs that finish within the
+		// first full interval.
+		e.eng.Sleep(e.cfg.SharingSampler / 10)
+		if !done {
+			sample()
+		}
+		for !done {
+			e.eng.Sleep(e.cfg.SharingSampler)
+			if done {
+				break
+			}
+			sample()
+		}
+		if len(e.result.Sharing) == 0 {
+			sample()
+		}
+	})
+	return stop
+}
+
+// randRange picks a random scan range of pct% of n tuples, starting at a
+// random position (clipped at the end of the table), per §4.1.
+func randRange(rng *rand.Rand, n int64, pct int) exec.RIDRange {
+	span := n * int64(pct) / 100
+	if span < 1 {
+		span = 1
+	}
+	maxStart := n - span
+	var start int64
+	if maxStart > 0 {
+		start = rng.Int63n(maxStart)
+	}
+	return exec.RIDRange{Lo: start, Hi: start + span}
+}

@@ -1,0 +1,234 @@
+// Package scanshare is the public API of this reproduction of
+// "From Cooperative Scans to Predictive Buffer Management" (Świtakowski,
+// Boncz, Żukowski; PVLDB 5(12), 2012).
+//
+// It exposes the simulated analytical engine — columnar storage, PDT
+// differential updates, a traditional buffer manager with pluggable
+// policies (LRU/MRU/Clock and Predictive Buffer Management), Cooperative
+// Scans with an Active Buffer Manager, and a vectorized executor — plus
+// experiment runners that regenerate every figure of the paper's
+// evaluation (Figures 11–18).
+//
+// The heavy lifting lives in internal packages; this package re-exports
+// the stable surface via aliases and provides System, a convenience
+// wrapper wiring a full simulated instance together.
+package scanshare
+
+import (
+	"time"
+
+	"repro/internal/abm"
+	"repro/internal/buffer"
+	"repro/internal/exec"
+	"repro/internal/iosim"
+	"repro/internal/pbm"
+	"repro/internal/pdt"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// Re-exported core types: the storage and execution surface a downstream
+// user programs against.
+type (
+	// Catalog owns tables and snapshots.
+	Catalog = storage.Catalog
+	// Schema describes table columns.
+	Schema = storage.Schema
+	// ColumnDef is one column definition.
+	ColumnDef = storage.ColumnDef
+	// ColumnData is bulk-load input.
+	ColumnData = storage.ColumnData
+	// Snapshot is an immutable table view.
+	Snapshot = storage.Snapshot
+	// PDT is a positional delta tree of pending updates.
+	PDT = pdt.PDT
+	// PDTStore manages shared PDT layers and transactions for a table.
+	PDTStore = pdt.Store
+	// Row is a tuple of values for PDT updates.
+	Row = pdt.Row
+	// Value is a dynamically typed column value.
+	Value = pdt.Value
+	// Operator is the vectorized iterator interface.
+	Operator = exec.Operator
+	// Batch is a set of column vectors.
+	Batch = exec.Batch
+	// RIDRange is a half-open row range.
+	RIDRange = exec.RIDRange
+	// Policy selects the buffer management strategy.
+	Policy = workload.Policy
+	// Config parameterizes experiment runs.
+	Config = workload.Config
+	// Result reports one experiment run.
+	Result = workload.Result
+	// TPCHDB is a generated TPC-H-shaped database.
+	TPCHDB = tpch.DB
+)
+
+// Column type constants.
+const (
+	Int64   = storage.Int64
+	Float64 = storage.Float64
+	String  = storage.String
+)
+
+// Buffer management policies.
+const (
+	LRU    = workload.LRU
+	MRU    = workload.MRU
+	Clock  = workload.Clock
+	PBM    = workload.PBM
+	PBMLRU = workload.PBMLRU
+	CScan  = workload.CScan
+)
+
+// Re-exported constructors.
+var (
+	// NewCatalog creates an empty catalog.
+	NewCatalog = storage.NewCatalog
+	// NewColumnData creates empty bulk-load input.
+	NewColumnData = storage.NewColumnData
+	// NewPDT creates an empty delta tree over n stable tuples.
+	NewPDT = pdt.New
+	// NewPDTStore creates the shared PDT layers for a table.
+	NewPDTStore = pdt.NewStore
+	// GenerateTPCH builds the TPC-H-shaped database.
+	GenerateTPCH = tpch.Generate
+	// IntVal, FloatVal and StrVal construct PDT values.
+	IntVal   = pdt.IntVal
+	FloatVal = pdt.FloatVal
+	StrVal   = pdt.StrVal
+	// PartitionRange implements Equation 1 static partitioning.
+	PartitionRange = exec.PartitionRange
+)
+
+// SystemConfig parameterizes a simulated database instance.
+type SystemConfig struct {
+	// Policy is the buffer management strategy (default LRU).
+	Policy Policy
+	// BufferBytes is the pool capacity (default 64 MiB).
+	BufferBytes int64
+	// BandwidthMB is the disk bandwidth in MB/s (default 700).
+	BandwidthMB float64
+	// Cores is the simulated core count (default 8).
+	Cores int
+	// PerTupleCPU is the virtual CPU cost per scanned tuple.
+	PerTupleCPU time.Duration
+	// ChunkTuples is the Cooperative Scans chunk size (default 8192).
+	ChunkTuples int64
+}
+
+// System is a fully wired simulated instance: virtual clock, disk, buffer
+// manager (traditional or ABM), and an execution context. Create scans
+// and operators against Ctx, and drive everything inside Run.
+type System struct {
+	Eng     *sim.Engine
+	Disk    *iosim.Disk
+	Pool    *buffer.Pool // nil under CScan
+	PBM     *pbm.PBM     // non-nil under PBM/PBMLRU
+	ABM     *abm.ABM     // non-nil under CScan
+	Ctx     *exec.Ctx
+	Catalog *Catalog
+}
+
+// NewSystem wires a simulated instance.
+func NewSystem(cfg SystemConfig) *System {
+	if cfg.BufferBytes <= 0 {
+		cfg.BufferBytes = 64 << 20
+	}
+	if cfg.BandwidthMB <= 0 {
+		cfg.BandwidthMB = 700
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 8
+	}
+	if cfg.ChunkTuples <= 0 {
+		cfg.ChunkTuples = abm.DefaultChunkTuples
+	}
+	s := &System{Eng: sim.NewEngine(), Catalog: storage.NewCatalog()}
+	s.Disk = iosim.New(s.Eng, iosim.Config{
+		Bandwidth:   cfg.BandwidthMB * 1e6,
+		SeekLatency: 50 * time.Microsecond,
+	})
+	s.Ctx = &exec.Ctx{
+		Eng:             s.Eng,
+		CPU:             exec.NewCPU(s.Eng, cfg.Cores),
+		PerTupleCPU:     cfg.PerTupleCPU,
+		ReadAheadTuples: 16384,
+	}
+	switch cfg.Policy {
+	case CScan:
+		s.ABM = abm.New(s.Eng, s.Disk, abm.Config{
+			ChunkTuples: cfg.ChunkTuples,
+			Capacity:    cfg.BufferBytes,
+		})
+		s.Ctx.ABM = s.ABM
+	default:
+		var pol buffer.Policy
+		switch cfg.Policy {
+		case MRU:
+			pol = buffer.NewMRU()
+		case Clock:
+			pol = buffer.NewClock()
+		case PBM, PBMLRU:
+			pc := pbm.DefaultConfig()
+			pc.LRUMode = cfg.Policy == PBMLRU
+			p := pbm.New(s.Eng, pc)
+			s.PBM = p
+			pol = p
+		default:
+			pol = buffer.NewLRU()
+		}
+		s.Pool = buffer.NewPool(s.Eng, s.Disk, pol, cfg.BufferBytes)
+		s.Ctx.Pool = s.Pool
+		s.Ctx.PBM = s.PBM
+	}
+	return s
+}
+
+// WaitGroup is a virtual-time wait group for coordinating simulated
+// processes.
+type WaitGroup = sim.WaitGroup
+
+// NewWaitGroup creates a wait group bound to the system's clock.
+func (s *System) NewWaitGroup() *WaitGroup { return s.Eng.NewWaitGroup() }
+
+// Go spawns fn as a concurrent simulated process (a query stream, a
+// background job). Call before or during Run.
+func (s *System) Go(name string, fn func()) { s.Eng.Go(name, fn) }
+
+// Run executes main as the root simulated process and drives the virtual
+// clock until every process finishes. Blocks the calling goroutine.
+func (s *System) Run(main func()) {
+	s.Eng.Go("main", func() {
+		main()
+		if s.ABM != nil {
+			s.ABM.Stop()
+		}
+	})
+	s.Eng.Run()
+}
+
+// NewScan builds the policy-appropriate scan operator over a snapshot:
+// a CScan when the system runs Cooperative Scans, a traditional Scan
+// otherwise. ranges nil means the full table; deltas may be nil.
+func (s *System) NewScan(snap *Snapshot, cols []int, ranges []RIDRange, deltas *PDT) Operator {
+	if ranges == nil {
+		n := snap.NumTuples()
+		if deltas != nil {
+			n = deltas.NumTuples()
+		}
+		ranges = []RIDRange{{Lo: 0, Hi: n}}
+	}
+	if s.ABM != nil {
+		return &exec.CScan{Ctx: s.Ctx, Snap: snap, Cols: cols, Ranges: ranges, PDT: deltas}
+	}
+	return &exec.Scan{Ctx: s.Ctx, Snap: snap, Cols: cols, Ranges: ranges, PDT: deltas}
+}
+
+// IOBytes reports the total bytes read from the simulated disk so far.
+func (s *System) IOBytes() int64 { return s.Disk.Stats().BytesRead }
+
+// Now reports the current virtual time.
+func (s *System) Now() time.Duration { return time.Duration(s.Eng.Now()) }

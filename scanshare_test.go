@@ -1,0 +1,155 @@
+package scanshare
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+)
+
+func TestSystemQuickstartFlow(t *testing.T) {
+	for _, pol := range []Policy{LRU, PBM, CScan} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			sys := NewSystem(SystemConfig{Policy: pol, BufferBytes: 4 << 20, BandwidthMB: 500})
+			table, err := sys.Catalog.CreateTable("t", Schema{
+				{Name: "k", Type: Int64, Width: 8},
+				{Name: "v", Type: Float64, Width: 8},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := NewColumnData()
+			const n = 50_000
+			ks := make([]int64, n)
+			vs := make([]float64, n)
+			for i := range ks {
+				ks[i] = int64(i % 10)
+				vs[i] = 1
+			}
+			data.I64[0] = ks
+			data.F64[1] = vs
+			snap, err := table.Master().Append(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := snap.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			sys.Run(func() {
+				res := exec.Collect(&exec.HashAggr{
+					Child:  sys.NewScan(snap, []int{0, 1}, nil, nil),
+					Groups: []int{0},
+					Aggs:   []exec.AggSpec{{Kind: exec.AggSum, Col: 1}},
+				})
+				if res.N != 10 {
+					t.Errorf("groups = %d, want 10", res.N)
+				}
+				for i := 0; i < res.N; i++ {
+					if res.Vecs[1].F64[i] != n/10 {
+						t.Errorf("group sum = %v, want %v", res.Vecs[1].F64[i], n/10)
+					}
+				}
+			})
+			if sys.IOBytes() == 0 {
+				t.Error("no I/O recorded")
+			}
+			if sys.Now() == 0 {
+				t.Error("no virtual time elapsed")
+			}
+		})
+	}
+}
+
+func TestSystemWithPDTDeltas(t *testing.T) {
+	sys := NewSystem(SystemConfig{Policy: PBM, BufferBytes: 4 << 20})
+	table, err := sys.Catalog.CreateTable("t", Schema{{Name: "v", Type: Int64, Width: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := NewColumnData()
+	data.I64[0] = []int64{1, 2, 3, 4, 5}
+	snap, _ := table.Master().Append(data)
+	_ = snap.Commit()
+
+	deltas := NewPDT(table.Schema, 5)
+	deltas.DeleteAt(0)                  // drops the value 1: [2 3 4 5]
+	deltas.InsertAt(3, Row{IntVal(99)}) // before the value 5
+	sys.Run(func() {
+		// Errorf (not Fatalf) inside simulated processes: Goexit would
+		// strand the engine.
+		res := exec.Collect(sys.NewScan(snap, []int{0}, nil, deltas))
+		want := []int64{2, 3, 4, 99, 5}
+		if res.N != len(want) {
+			t.Errorf("N = %d, want %d", res.N, len(want))
+			return
+		}
+		for i, w := range want {
+			if res.Vecs[0].I64[i] != w {
+				t.Errorf("row %d = %d, want %d", i, res.Vecs[0].I64[i], w)
+			}
+		}
+	})
+}
+
+// tinyFigOptions shrinks the figure sweeps for test speed.
+func tinyFigOptions() Options {
+	return Options{SF: 0.004, Seed: 3, Streams: 2, QueriesPerStream: 3, ThreadsPerQuery: 2}
+}
+
+func TestFig11ProducesAllSeries(t *testing.T) {
+	rows := Fig11(tinyFigOptions())
+	if len(rows) != len(BufferFracs)*4 { // LRU, CScans, PBM, OPT per x
+		t.Fatalf("rows = %d, want %d", len(rows), len(BufferFracs)*4)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Policy] = true
+		if r.Policy != "OPT" && r.AvgStreamSec <= 0 {
+			t.Errorf("%s at %v: no stream time", r.Policy, r.X)
+		}
+		if r.IOMB < 0 {
+			t.Errorf("negative IO")
+		}
+	}
+	for _, p := range []string{"LRU", "CScans", "PBM", "OPT"} {
+		if !seen[p] {
+			t.Errorf("missing series %s", p)
+		}
+	}
+}
+
+func TestFig17SharingSeries(t *testing.T) {
+	rows := Fig17(tinyFigOptions())
+	if len(rows) == 0 {
+		t.Fatal("no sharing samples")
+	}
+	prev := -1.0
+	for _, r := range rows {
+		if r.TimeSec <= prev {
+			t.Fatal("sample times not increasing")
+		}
+		prev = r.TimeSec
+	}
+}
+
+func TestPartitionRangeReexport(t *testing.T) {
+	parts := PartitionRange(0, 100, 3)
+	if len(parts) != 3 || parts[0].Lo != 0 || parts[2].Hi != 100 {
+		t.Fatalf("parts = %+v", parts)
+	}
+}
+
+func TestDefaultConfigsMatchPaper(t *testing.T) {
+	m := DefaultMicroConfig()
+	if m.Streams != 8 || m.QueriesPerStream != 16 || m.BufferFrac != 0.4 || m.BandwidthMB != 700 {
+		t.Fatalf("micro defaults diverge from §4.1: %+v", m)
+	}
+	h := DefaultTPCHConfig()
+	if h.BufferFrac != 0.3 || h.BandwidthMB != 600 {
+		t.Fatalf("TPC-H defaults diverge from §4.2: %+v", h)
+	}
+	if m.PerTupleCPU <= 0 || m.PerTupleCPU > time.Microsecond {
+		t.Fatalf("implausible CPU cost %v", m.PerTupleCPU)
+	}
+}
