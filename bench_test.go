@@ -14,6 +14,16 @@ import (
 // experiment; the experiment's own metrics (virtual stream time, I/O
 // volume) are reported as custom benchmark metrics.
 
+// skipIfShort keeps `go test -short -bench .` fast: the benchmarks each
+// simulate a full experiment sweep, which is the "full" half of the
+// fast/full test split (see README).
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping experiment-sweep benchmark in -short mode")
+	}
+}
+
 // benchOptions returns reduced-scale options for benchmark runs.
 func benchOptions() Options {
 	return Options{
@@ -37,18 +47,21 @@ func report(b *testing.B, rows []SweepRow) {
 }
 
 func BenchmarkFig11MicroBufferSweep(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		report(b, Fig11(benchOptions()))
 	}
 }
 
 func BenchmarkFig12MicroBandwidthSweep(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		report(b, Fig12(benchOptions()))
 	}
 }
 
 func BenchmarkFig13MicroStreamSweep(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	o.Streams = 0 // the sweep sets stream counts itself
 	for i := 0; i < b.N; i++ {
@@ -57,6 +70,7 @@ func BenchmarkFig13MicroStreamSweep(b *testing.B) {
 }
 
 func BenchmarkFig14TPCHBufferSweep(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	o.QueriesPerStream = 8
 	for i := 0; i < b.N; i++ {
@@ -65,6 +79,7 @@ func BenchmarkFig14TPCHBufferSweep(b *testing.B) {
 }
 
 func BenchmarkFig15TPCHBandwidthSweep(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	o.QueriesPerStream = 8
 	for i := 0; i < b.N; i++ {
@@ -73,6 +88,7 @@ func BenchmarkFig15TPCHBandwidthSweep(b *testing.B) {
 }
 
 func BenchmarkFig16TPCHStreamSweep(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	o.Streams = 0
 	o.QueriesPerStream = 8
@@ -82,6 +98,7 @@ func BenchmarkFig16TPCHStreamSweep(b *testing.B) {
 }
 
 func BenchmarkFig17MicroSharingPotential(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		rows := Fig17(benchOptions())
 		var mbTotal float64
@@ -93,6 +110,7 @@ func BenchmarkFig17MicroSharingPotential(b *testing.B) {
 }
 
 func BenchmarkFig18TPCHSharingPotential(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	o.QueriesPerStream = 8
 	for i := 0; i < b.N; i++ {
@@ -111,6 +129,7 @@ func BenchmarkFig18TPCHSharingPotential(b *testing.B) {
 // MRU/Clock baselines and the PBM/LRU future-work variant) at the
 // default microbenchmark point.
 func BenchmarkAblationPolicyMicro(b *testing.B) {
+	skipIfShort(b)
 	db := GenerateTPCH(0.008, 42)
 	for _, pol := range []Policy{LRU, MRU, Clock, PBM, PBMLRU, CScan} {
 		pol := pol
@@ -133,6 +152,7 @@ func BenchmarkAblationPolicyMicro(b *testing.B) {
 // granularity (the §2 design choice: big chunks preserve locality, small
 // chunks reduce skew).
 func BenchmarkAblationChunkSize(b *testing.B) {
+	skipIfShort(b)
 	db := GenerateTPCH(0.008, 42)
 	for _, chunk := range []int64{512, 2048, 8192} {
 		chunk := chunk
@@ -155,6 +175,7 @@ func BenchmarkAblationChunkSize(b *testing.B) {
 // attach&throttle extension at the paper-identified weak point: extreme
 // memory pressure with maximal sharing potential.
 func BenchmarkAblationThrottle(b *testing.B) {
+	skipIfShort(b)
 	db := GenerateTPCH(0.008, 42)
 	for _, throttle := range []bool{false, true} {
 		throttle := throttle
@@ -184,6 +205,7 @@ func BenchmarkAblationThrottle(b *testing.B) {
 // read-ahead window — the knob that trades sequential locality against
 // pool churn.
 func BenchmarkAblationReadAhead(b *testing.B) {
+	skipIfShort(b)
 	db := GenerateTPCH(0.008, 42)
 	for _, pol := range []Policy{LRU, PBM} {
 		pol := pol

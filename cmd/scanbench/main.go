@@ -7,9 +7,16 @@
 // Usage:
 //
 //	scanbench [flags] fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|all
+//	scanbench -serve [flags]
 //
 // Output is an aligned text table per figure; pass -tsv for
 // tab-separated output suitable for plotting.
+//
+// The -serve mode goes beyond the paper: it drives an open-loop,
+// many-client serving scenario — Poisson arrivals on N concurrent
+// streams, a bounded admission queue with a concurrency limit (MPL) —
+// and sweeps arrival rate x MPL x policy, reporting throughput, latency
+// percentiles (p50/p95/p99, queue-wait split), and SLO attainment.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -34,16 +42,39 @@ func main() {
 		cores   = flag.Int("cores", 0, "override simulated cores")
 		cpu     = flag.Duration("cpu", 0, "override per-tuple CPU cost")
 		tsv     = flag.Bool("tsv", false, "emit tab-separated values")
+
+		serve = flag.Bool("serve", false, "run the open-loop serving sweep (arrival rate x MPL x policy)")
+		rates = flag.String("rates", "", "serve: comma-separated per-stream arrival rates in queries/s (default 1,5,20)")
+		mpls  = flag.String("mpls", "", "serve: comma-separated MPL concurrency limits (default 8,32)")
+		queue = flag.Int("queue", 0, "serve: admission queue depth (0 = default 64, negative = unbounded)")
+		slo   = flag.Duration("slo", 0, "serve: end-to-end latency SLO (default 250ms)")
 	)
 	flag.Parse()
-	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: scanbench [flags] fig11..fig18|all")
-		flag.Usage()
-		os.Exit(2)
-	}
 	opts := scanshare.Options{
 		SF: *sf, Seed: *seed, Streams: *streams, QueriesPerStream: *queries,
 		ThreadsPerQuery: *threads, Cores: *cores, PerTupleCPU: *cpu,
+	}
+	if *serve {
+		if flag.NArg() > 0 {
+			fmt.Fprintf(os.Stderr, "-serve takes no targets (got %q)\n", flag.Args())
+			os.Exit(2)
+		}
+		so := scanshare.ServeOptions{
+			Options:    opts,
+			Rates:      parseFloats(*rates),
+			MPLs:       parseInts(*mpls),
+			QueueDepth: *queue,
+			SLO:        *slo,
+		}
+		start := time.Now()
+		printServe(scanshare.ServeSweep(so), *tsv)
+		fmt.Printf("# serve done in %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: scanbench [flags] fig11..fig18|all  or  scanbench -serve [flags]")
+		flag.Usage()
+		os.Exit(2)
 	}
 	targets := flag.Args()
 	if len(targets) == 1 && targets[0] == "all" {
@@ -175,6 +206,63 @@ func printAblation(rows []scanshare.AblationRow, tsv bool) {
 		fmt.Fprintf(w, "%s\t%.3f\t%.1f\n", r.Variant, r.AvgStreamSec, r.IOMB)
 	}
 	w.Flush()
+}
+
+// printServe renders the serving sweep: one row per (rate, MPL, policy)
+// cell with throughput, latency percentiles, and SLO attainment.
+func printServe(rows []scanshare.ServeRow, tsv bool) {
+	fmt.Println("== Serving sweep: open-loop arrivals, admission control (latencies in virtual ms) ==")
+	if tsv {
+		fmt.Printf("rate_qps\tmpl\tpolicy\tcompleted\trejected\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\tio_mb\n")
+		for _, r := range rows {
+			fmt.Printf("%g\t%d\t%s\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%.1f\n",
+				r.Rate, r.MPL, r.Policy, r.Completed, r.Rejected, r.Throughput,
+				r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct, r.IOMB)
+		}
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "rate/stream\tMPL\tpolicy\tdone\trej\tthru (q/s)\tp50\tp95\tp99\tqwait p95\tSLO %\tI/O MB")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%g\t%d\t%s\t%d\t%d\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%.1f\n",
+			r.Rate, r.MPL, r.Policy, r.Completed, r.Rejected, r.Throughput,
+			r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct, r.IOMB)
+	}
+	w.Flush()
+}
+
+// parseFloats parses a comma-separated float list; empty input yields nil.
+func parseFloats(s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad rate %q: must be a positive number\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// parseInts parses a comma-separated int list; empty input yields nil.
+func parseInts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad MPL %q: must be a positive integer\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 // bar renders a tiny stacked area impression: one char per ~sixteenth of

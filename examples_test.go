@@ -1,0 +1,50 @@
+package scanshare
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesBuildAndVet compiles and vets every examples/* main as a
+// table-driven smoke check, so a refactor of the public surface cannot
+// silently break the documented entry points. The examples run full
+// simulations, so they are built, not executed, here; -short skips even
+// the builds.
+func TestExamplesBuildAndVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example builds in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no example directories found")
+	}
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			pkg := "./" + filepath.ToSlash(filepath.Join("examples", dir))
+			build := exec.Command("go", "build", "-o", os.DevNull, pkg)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+			}
+			vet := exec.Command("go", "vet", pkg)
+			if out, err := vet.CombinedOutput(); err != nil {
+				t.Fatalf("go vet %s: %v\n%s", pkg, err, out)
+			}
+		})
+	}
+}

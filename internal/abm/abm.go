@@ -445,7 +445,15 @@ func (a *ABM) run() {
 		if !a.loadChunk(cs, c) {
 			a.stats.BlockedLoads++
 			a.work.Wait()
+			continue
 		}
+		// Hand the freshly loaded chunk to its consumers before the next
+		// load decision can evict it: the scans woken by the load run at
+		// this instant and pin their deliveries, which the eviction guard
+		// (and its force-evict liveness fallback) respects. Without this
+		// yield an overloaded ABM can evict every chunk it loads before
+		// any consumer sees it, starving all scans while I/O churns.
+		a.eng.Yield()
 	}
 }
 

@@ -1,0 +1,276 @@
+// Package sched implements a multi-tenant query scheduler for the
+// simulated engine: queries arriving from many concurrent client streams
+// are admitted under a concurrency limit (the multi-programming level,
+// MPL) through a bounded FIFO admission queue, and every query's life
+// cycle — arrival, admission, completion — is timestamped on the virtual
+// clock so the serving harness can report queue-wait and execution
+// latency percentiles and SLO attainment.
+//
+// The scheduler is deliberately policy-agnostic: it gates *when* a query
+// may start, while the buffer-management layer (LRU/Clock/PBM or the
+// Cooperative Scans ABM) decides *how* its scans share the pool once
+// running. This mirrors the paper's §4 setup, where the number of
+// concurrent streams is the controlled variable and the buffer manager
+// is the subject under test.
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// MPL is the maximum number of concurrently executing queries
+	// (default 8).
+	MPL int
+	// QueueDepth bounds the admission queue; a query arriving when the
+	// queue is full is rejected. Zero means DefaultQueueDepth; negative
+	// means unbounded.
+	QueueDepth int
+	// SLO is the end-to-end latency objective used for attainment
+	// accounting; zero disables SLO tracking.
+	SLO sim.Duration
+}
+
+// DefaultQueueDepth is the admission queue bound when Config.QueueDepth
+// is zero.
+const DefaultQueueDepth = 64
+
+func (c Config) withDefaults() Config {
+	if c.MPL <= 0 {
+		c.MPL = 8
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	return c
+}
+
+// QueryStat is the recorded life cycle of one completed query.
+type QueryStat struct {
+	// Stream and Seq identify the query within its client stream.
+	Stream, Seq int
+	// Arrive, Admit and Finish are virtual timestamps: arrival at the
+	// scheduler, admission to execution, and completion.
+	Arrive, Admit, Finish sim.Time
+}
+
+// QueueWait is the time the query spent in the admission queue.
+func (q QueryStat) QueueWait() sim.Duration { return sim.Duration(q.Admit - q.Arrive) }
+
+// ExecTime is the time the query spent executing after admission.
+func (q QueryStat) ExecTime() sim.Duration { return sim.Duration(q.Finish - q.Admit) }
+
+// Latency is the end-to-end latency (queue wait plus execution).
+func (q QueryStat) Latency() sim.Duration { return sim.Duration(q.Finish - q.Arrive) }
+
+// waiter is one query parked in the admission queue.
+type waiter struct {
+	ev *sim.Event
+}
+
+// Scheduler admits queries under an MPL limit with a bounded FIFO queue.
+// All methods must be called from within simulated processes of the
+// engine the scheduler is bound to.
+type Scheduler struct {
+	eng *sim.Engine
+	cfg Config
+
+	running int
+	queue   []*waiter
+
+	arrived   int64
+	rejected  int64
+	completed []QueryStat
+	maxQueue  int
+}
+
+// New creates a scheduler bound to the engine.
+func New(eng *sim.Engine, cfg Config) *Scheduler {
+	return &Scheduler{eng: eng, cfg: cfg.withDefaults()}
+}
+
+// Ticket is the admission handle of a running query; call Done exactly
+// once when the query finishes.
+type Ticket struct {
+	s           *Scheduler
+	stream, seq int
+	arrive      sim.Time
+	admit       sim.Time
+	done        bool
+}
+
+// Arrive reports when the ticket's query arrived at the scheduler.
+func (t *Ticket) Arrive() sim.Time { return t.arrive }
+
+// Admit reports when the ticket's query was admitted to execution.
+func (t *Ticket) Admit() sim.Time { return t.admit }
+
+// Admit requests admission for a query identified as (stream, seq). It
+// blocks (in virtual time) while the MPL is saturated and the query sits
+// in the admission queue. It returns ok=false — without blocking — when
+// the queue is full and the query is rejected.
+func (s *Scheduler) Admit(stream, seq int) (*Ticket, bool) {
+	s.arrived++
+	t := &Ticket{s: s, stream: stream, seq: seq, arrive: s.eng.Now()}
+	if s.running < s.cfg.MPL {
+		s.running++
+		t.admit = t.arrive
+		return t, true
+	}
+	if s.cfg.QueueDepth >= 0 && len(s.queue) >= s.cfg.QueueDepth {
+		s.rejected++
+		return nil, false
+	}
+	w := &waiter{ev: s.eng.NewEvent()}
+	s.queue = append(s.queue, w)
+	if len(s.queue) > s.maxQueue {
+		s.maxQueue = len(s.queue)
+	}
+	// The releasing query transfers its MPL slot directly to the queue
+	// head before firing the event, so on wake-up the slot is ours.
+	w.ev.Wait()
+	t.admit = s.eng.Now()
+	return t, true
+}
+
+// Done releases the query's MPL slot, recording its completion. The slot
+// is handed to the head of the admission queue, if any.
+func (t *Ticket) Done() {
+	if t.done {
+		panic("sched: Ticket.Done called twice")
+	}
+	t.done = true
+	s := t.s
+	s.completed = append(s.completed, QueryStat{
+		Stream: t.stream, Seq: t.seq,
+		Arrive: t.arrive, Admit: t.admit, Finish: s.eng.Now(),
+	})
+	if len(s.queue) > 0 {
+		head := s.queue[0]
+		s.queue = s.queue[1:]
+		head.ev.Fire()
+		return // slot transferred, running count unchanged
+	}
+	s.running--
+}
+
+// Running reports the number of currently executing queries.
+func (s *Scheduler) Running() int { return s.running }
+
+// Queued reports the number of queries waiting in the admission queue.
+func (s *Scheduler) Queued() int { return len(s.queue) }
+
+// Completed returns the recorded per-query statistics, in completion
+// order.
+func (s *Scheduler) Completed() []QueryStat { return s.completed }
+
+// LatencyDist summarizes a latency distribution with nearest-rank
+// percentiles.
+type LatencyDist struct {
+	P50, P95, P99, Max sim.Duration
+	Mean               sim.Duration
+}
+
+// Percentile returns the nearest-rank p-th percentile (0 < p <= 100) of
+// ds, which it sorts in place. Zero-length input yields zero.
+func Percentile(ds []sim.Duration, p float64) sim.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	idx := int(math.Ceil(p/100*float64(len(ds)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	return ds[idx]
+}
+
+// distOf summarizes ds (sorting it in place).
+func distOf(ds []sim.Duration) LatencyDist {
+	var d LatencyDist
+	if len(ds) == 0 {
+		return d
+	}
+	var sum sim.Duration
+	for _, v := range ds {
+		sum += v
+	}
+	d.Mean = sum / sim.Duration(len(ds))
+	d.P50 = Percentile(ds, 50)
+	d.P95 = Percentile(ds, 95)
+	d.P99 = Percentile(ds, 99)
+	d.Max = ds[len(ds)-1]
+	return d
+}
+
+// Stats is the aggregate serving report of a scheduler run.
+type Stats struct {
+	// Arrived counts every admission request; Completed and Rejected
+	// partition the ones that have finished or been turned away.
+	Arrived, Completed, Rejected int64
+	// MaxQueueDepth is the high-water mark of the admission queue.
+	MaxQueueDepth int
+	// Latency, QueueWait and Exec summarize the completed queries'
+	// end-to-end latency and its queue/execution split.
+	Latency, QueueWait, Exec LatencyDist
+	// SLOAttainment is the fraction of completed queries whose
+	// end-to-end latency met the configured SLO (zero SLO => 1).
+	SLOAttainment float64
+	// Makespan is the virtual time at which Stats was taken; Throughput
+	// is completed queries per virtual second over the makespan.
+	Makespan   sim.Time
+	Throughput float64
+}
+
+// Stats summarizes the run as of virtual time now.
+func (s *Scheduler) Stats(now sim.Time) Stats {
+	st := Stats{
+		Arrived:       s.arrived,
+		Completed:     int64(len(s.completed)),
+		Rejected:      s.rejected,
+		MaxQueueDepth: s.maxQueue,
+		Makespan:      now,
+	}
+	n := len(s.completed)
+	lat := make([]sim.Duration, n)
+	qw := make([]sim.Duration, n)
+	ex := make([]sim.Duration, n)
+	met := 0
+	for i, q := range s.completed {
+		lat[i] = q.Latency()
+		qw[i] = q.QueueWait()
+		ex[i] = q.ExecTime()
+		if s.cfg.SLO <= 0 || q.Latency() <= s.cfg.SLO {
+			met++
+		}
+	}
+	st.Latency = distOf(lat)
+	st.QueueWait = distOf(qw)
+	st.Exec = distOf(ex)
+	if n > 0 {
+		st.SLOAttainment = float64(met) / float64(n)
+	}
+	if sec := now.Seconds(); sec > 0 {
+		st.Throughput = float64(n) / sec
+	}
+	return st
+}
+
+// ExpInterarrival draws one exponentially distributed inter-arrival gap
+// for a Poisson process with the given rate (arrivals per virtual
+// second). A non-positive rate yields zero (back-to-back arrivals).
+func ExpInterarrival(rng *rand.Rand, ratePerSec float64) sim.Duration {
+	if ratePerSec <= 0 {
+		return 0
+	}
+	gap := rng.ExpFloat64() / ratePerSec // seconds
+	return sim.Duration(gap * 1e9)
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/iosim"
+	"repro/internal/opt"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// fixture builds a pooled single-column table with n pages and a recorder
+// attached to the pool.
+func fixture(t *testing.T, nPages int) (*sim.Engine, *buffer.Pool, []*storage.Page, *Recorder) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	tb, err := cat.CreateTable("t", storage.Schema{{Name: "a", Type: storage.Int64, Width: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPage := storage.PageSize / 8
+	data := storage.NewColumnData()
+	vals := make([]int64, nPages*perPage)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	data.I64[0] = vals
+	s, err := tb.Master().Append(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	disk := iosim.New(eng, iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
+	pool := buffer.NewPool(eng, disk, buffer.NewLRU(), int64(nPages)*storage.PageSize)
+	rec := NewRecorder()
+	rec.Attach(pool)
+	return eng, pool, s.Pages(0), rec
+}
+
+func TestRecorderCapturesAccessOrder(t *testing.T) {
+	eng, pool, pages, rec := fixture(t, 4)
+	order := []int{2, 0, 2, 3, 1}
+	eng.Go("q", func() {
+		for _, i := range order {
+			pool.Unpin(pool.Get(pages[i]))
+		}
+	})
+	eng.Run()
+	refs := rec.Refs()
+	if len(refs) != len(order) {
+		t.Fatalf("recorded %d refs, want %d", len(refs), len(order))
+	}
+	for i, want := range order {
+		if refs[i].Page != pages[want].ID {
+			t.Errorf("ref %d = page %v, want %v", i, refs[i].Page, pages[want].ID)
+		}
+		if refs[i].Bytes != pages[want].Bytes {
+			t.Errorf("ref %d bytes = %d, want %d", i, refs[i].Bytes, pages[want].Bytes)
+		}
+	}
+	if rec.Len() != len(order) {
+		t.Errorf("Len = %d, want %d", rec.Len(), len(order))
+	}
+}
+
+func TestRecorderCapturesHitsAndMisses(t *testing.T) {
+	// The trace must record every reference — hits included — or an OPT
+	// replay would see a different reference string than the live run.
+	eng, pool, pages, rec := fixture(t, 2)
+	eng.Go("q", func() {
+		pool.Unpin(pool.Get(pages[0])) // miss
+		pool.Unpin(pool.Get(pages[0])) // hit
+	})
+	eng.Run()
+	if rec.Len() != 2 {
+		t.Fatalf("recorded %d refs, want 2 (hit and miss)", rec.Len())
+	}
+}
+
+func TestAttachChainsExistingHook(t *testing.T) {
+	eng, pool, pages, rec := fixture(t, 2)
+	// fixture already attached rec; attach a second recorder on top and
+	// verify both see the traffic (Attach chains, not replaces).
+	rec2 := NewRecorder()
+	rec2.Attach(pool)
+	eng.Go("q", func() {
+		pool.Unpin(pool.Get(pages[1]))
+	})
+	eng.Run()
+	if rec.Len() != 1 || rec2.Len() != 1 {
+		t.Fatalf("chained recorders saw %d/%d refs, want 1/1", rec.Len(), rec2.Len())
+	}
+}
+
+func TestRecordDirectAndReset(t *testing.T) {
+	rec := NewRecorder()
+	pg := &storage.Page{Bytes: 4096}
+	rec.Record(pg)
+	rec.Record(pg)
+	if rec.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", rec.Len())
+	}
+	if rec.Refs()[0] != (opt.Ref{Page: pg.ID, Bytes: pg.Bytes}) {
+		t.Fatalf("bad ref %+v", rec.Refs()[0])
+	}
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", rec.Len())
+	}
+}
+
+func TestRecordedTraceReplaysUnderOPT(t *testing.T) {
+	// End-to-end: a recorded trace must be consumable by the OPT
+	// simulator, and OPT with the full capacity loads each page once.
+	eng, pool, pages, rec := fixture(t, 4)
+	eng.Go("q", func() {
+		for round := 0; round < 3; round++ {
+			for _, pg := range pages {
+				pool.Unpin(pool.Get(pg))
+			}
+		}
+	})
+	eng.Run()
+	res := opt.Simulate(rec.Refs(), int64(len(pages))*storage.PageSize)
+	want := int64(len(pages)) * storage.PageSize
+	if res.BytesLoaded != want {
+		t.Fatalf("OPT loaded %d bytes, want %d (one cold load per page)", res.BytesLoaded, want)
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/tpch"
+)
+
+// ServeConfig parameterizes an open-loop serving run: Streams client
+// streams each generate queries with Poisson inter-arrivals at
+// ArrivalRate queries per virtual second, and the scheduler admits them
+// under the MPL limit through a bounded queue. The embedded Config
+// supplies the engine wiring (policy, pool sizing, bandwidth, cores) and
+// the query mix (RangePercents, ThreadsPerQuery), exactly as RunMicro.
+type ServeConfig struct {
+	Config
+	// ArrivalRate is the per-stream mean arrival rate in queries per
+	// virtual second (default 8).
+	ArrivalRate float64
+	// MPL is the scheduler's concurrency limit (default 8).
+	MPL int
+	// QueueDepth bounds the admission queue (0 => sched.DefaultQueueDepth,
+	// negative => unbounded).
+	QueueDepth int
+	// SLO is the end-to-end latency objective (default 250ms of virtual
+	// time; <0 disables).
+	SLO sim.Duration
+}
+
+// DefaultServeConfig returns serving defaults: 64 streams of 4 queries
+// each arriving at 8 qps/stream, MPL 8, a 64-deep admission queue, and
+// a 250 ms latency SLO, over the §4.1 microbenchmark query mix.
+func DefaultServeConfig() ServeConfig {
+	cfg := DefaultMicroConfig()
+	cfg.Streams = 64
+	cfg.QueriesPerStream = 4
+	cfg.ThreadsPerQuery = 1
+	return ServeConfig{
+		Config:      cfg,
+		ArrivalRate: 8,
+		MPL:         8,
+		QueueDepth:  sched.DefaultQueueDepth,
+		SLO:         250 * time.Millisecond,
+	}
+}
+
+// ServeResult reports one serving run: the engine-level Result (I/O
+// volume, pool stats) plus the scheduler's latency and throughput
+// accounting.
+type ServeResult struct {
+	Result
+	Sched sched.Stats
+}
+
+// RunServe executes an open-loop serving run over the microbenchmark
+// query mix (Q1/Q6 over random ranges). Unlike RunMicro's closed loop —
+// where each stream issues its next query only after the previous one
+// finishes — clients here generate queries on a Poisson arrival process
+// regardless of completion, so overload manifests as queue wait,
+// admission-queue growth, and ultimately rejections, the serving regime
+// the paper's fixed-stream experiments do not cover.
+func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
+	if cfg.QueriesPerStream <= 0 {
+		cfg.QueriesPerStream = 4
+	}
+	if cfg.ArrivalRate <= 0 {
+		cfg.ArrivalRate = 8
+	}
+	if cfg.SLO == 0 {
+		cfg.SLO = 250 * time.Millisecond
+	}
+	accessed := MicroAccessedBytes(db)
+	e := newEnv(cfg.Config, accessed)
+	build := e.builder(db)
+	n := db.Snapshot("lineitem").NumTuples()
+
+	sch := sched.New(e.eng, sched.Config{
+		MPL:        cfg.MPL,
+		QueueDepth: cfg.QueueDepth,
+		SLO:        cfg.SLO,
+	})
+
+	wg := e.eng.NewWaitGroup()
+	stopSampler := e.sharingSampler()
+	for s := 0; s < cfg.Streams; s++ {
+		s := s
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(s)*6271))
+		wg.Add(1)
+		e.eng.Go("client", func() {
+			defer wg.Done()
+			for q := 0; q < cfg.QueriesPerStream; q++ {
+				e.eng.Sleep(sched.ExpInterarrival(rng, cfg.ArrivalRate))
+				// Sample the query's shape in the generator, in a fixed
+				// per-stream order, so the workload is identical across
+				// policies and runs regardless of execution interleaving.
+				pct := cfg.RangePercents[rng.Intn(len(cfg.RangePercents))]
+				r := randRange(rng, n, pct)
+				useQ1 := rng.Intn(2) == 0
+				q := q
+				wg.Add(1)
+				e.eng.Go("query", func() {
+					defer wg.Done()
+					tk, ok := sch.Admit(s, q)
+					if !ok {
+						return // rejected: bounded queue full
+					}
+					exec.Drain(e.microPlan(db, build, r, useQ1))
+					tk.Done()
+				})
+			}
+		})
+	}
+	res := &ServeResult{}
+	e.eng.Go("driver", func() {
+		wg.Wait()
+		stopSampler.Fire()
+		if e.abm != nil {
+			e.abm.Stop()
+		}
+		res.Sched = sch.Stats(e.eng.Now())
+	})
+	e.eng.Run()
+	res.Result = *e.finish(nil)
+	return res
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// tinyServeConfig shrinks the serving run for tests: 16 streams of 3
+// queries over the shared tiny database.
+func tinyServeConfig() ServeConfig {
+	cfg := DefaultServeConfig()
+	cfg.Streams = 16
+	cfg.QueriesPerStream = 3
+	cfg.ArrivalRate = 20
+	cfg.MPL = 4
+	return cfg
+}
+
+func TestRunServeAllPolicies(t *testing.T) {
+	for _, pol := range []Policy{LRU, MRU, Clock, PBM, PBMLRU, CScan} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			cfg := tinyServeConfig()
+			cfg.Policy = pol
+			res := RunServe(tinyDB, cfg)
+			want := int64(cfg.Streams * cfg.QueriesPerStream)
+			if res.Sched.Arrived != want {
+				t.Fatalf("arrived %d, want %d", res.Sched.Arrived, want)
+			}
+			if res.Sched.Completed+res.Sched.Rejected != res.Sched.Arrived {
+				t.Fatalf("accounting leak: %+v", res.Sched)
+			}
+			if res.Sched.Completed == 0 {
+				t.Fatal("no queries completed")
+			}
+			if res.TotalIOBytes <= 0 {
+				t.Fatal("no I/O recorded")
+			}
+			if res.Sched.Latency.P50 <= 0 || res.Sched.Exec.P50 <= 0 {
+				t.Fatalf("missing latency accounting: %+v", res.Sched.Latency)
+			}
+			if res.Sched.Latency.P99 < res.Sched.Latency.P50 {
+				t.Fatalf("p99 %v < p50 %v", res.Sched.Latency.P99, res.Sched.Latency.P50)
+			}
+			if res.Sched.Throughput <= 0 {
+				t.Fatal("no throughput")
+			}
+		})
+	}
+}
+
+func TestServeOverloadShowsQueueing(t *testing.T) {
+	light := tinyServeConfig()
+	light.Policy = LRU
+	light.ArrivalRate = 2 // well under capacity
+	heavy := light
+	heavy.ArrivalRate = 2000 // all queries arrive nearly at once
+	rl := RunServe(tinyDB, light)
+	rh := RunServe(tinyDB, heavy)
+	if rh.Sched.QueueWait.P95 <= rl.Sched.QueueWait.P95 {
+		t.Errorf("overload queue wait p95 %v <= light %v",
+			rh.Sched.QueueWait.P95, rl.Sched.QueueWait.P95)
+	}
+	if rh.Sched.MaxQueueDepth <= rl.Sched.MaxQueueDepth {
+		t.Errorf("overload queue depth %d <= light %d",
+			rh.Sched.MaxQueueDepth, rl.Sched.MaxQueueDepth)
+	}
+}
+
+func TestServeBoundedQueueRejectsUnderOverload(t *testing.T) {
+	cfg := tinyServeConfig()
+	cfg.Policy = LRU
+	cfg.ArrivalRate = 5000
+	cfg.MPL = 1
+	cfg.QueueDepth = 2
+	res := RunServe(tinyDB, cfg)
+	if res.Sched.Rejected == 0 {
+		t.Fatal("tight queue under overload rejected nothing")
+	}
+	if res.Sched.Completed+res.Sched.Rejected != res.Sched.Arrived {
+		t.Fatalf("accounting leak: %+v", res.Sched)
+	}
+}
+
+func TestServeSLOAttainmentResponds(t *testing.T) {
+	cfg := tinyServeConfig()
+	cfg.Policy = LRU
+	cfg.ArrivalRate = 2000
+	cfg.MPL = 2
+	loose := cfg
+	loose.SLO = time.Hour
+	tight := cfg
+	tight.SLO = time.Nanosecond
+	rl := RunServe(tinyDB, loose)
+	rt := RunServe(tinyDB, tight)
+	if rl.Sched.SLOAttainment != 1 {
+		t.Errorf("1-hour SLO attainment %v, want 1", rl.Sched.SLOAttainment)
+	}
+	if rt.Sched.SLOAttainment != 0 {
+		t.Errorf("1-ns SLO attainment %v, want 0", rt.Sched.SLOAttainment)
+	}
+}
+
+func TestServeHigherMPLAdmitsMoreConcurrently(t *testing.T) {
+	// With everything arriving at once and a generous queue, a larger MPL
+	// must strictly reduce time spent waiting for admission.
+	cfg := tinyServeConfig()
+	cfg.Policy = CScan
+	cfg.ArrivalRate = 5000
+	cfg.QueueDepth = -1
+	cfg.MPL = 1
+	r1 := RunServe(tinyDB, cfg)
+	cfg.MPL = 16
+	r16 := RunServe(tinyDB, cfg)
+	if r16.Sched.QueueWait.Mean >= r1.Sched.QueueWait.Mean {
+		t.Errorf("MPL 16 mean queue wait %v >= MPL 1 %v",
+			r16.Sched.QueueWait.Mean, r1.Sched.QueueWait.Mean)
+	}
+	if r1.Sched.Completed != r16.Sched.Completed {
+		t.Errorf("unbounded queue lost queries: %d vs %d",
+			r1.Sched.Completed, r16.Sched.Completed)
+	}
+}

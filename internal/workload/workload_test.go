@@ -57,6 +57,9 @@ func TestRunMicroDeterministic(t *testing.T) {
 // needs a database large enough that the 40% pool is above the pool's
 // minimum size, so the fraction is honest.
 func TestMicroShapePBMBeatsLRUSmallPool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping disk-bound shape experiment in -short mode (generates a larger database)")
+	}
 	// The configuration mirrors the regime the paper evaluates in: the
 	// disk is the bottleneck, so scans are long-lived and overlap — the
 	// precondition for scan-aware buffering to pay off (see

@@ -1,0 +1,149 @@
+package scanshare
+
+import (
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Serving surface: the open-loop, many-client scenario on top of the
+// paper's engine. Unlike the closed-loop figure experiments, clients
+// here generate queries on a Poisson arrival process and a multi-tenant
+// scheduler admits them under an MPL limit through a bounded queue —
+// the regime where overload, queue wait, and latency SLOs appear.
+type (
+	// ServeConfig parameterizes one open-loop serving run.
+	ServeConfig = workload.ServeConfig
+	// ServeResult reports one serving run (engine result + scheduler stats).
+	ServeResult = workload.ServeResult
+	// SchedConfig parameterizes the admission scheduler directly.
+	SchedConfig = sched.Config
+	// SchedStats is the scheduler's aggregate serving report.
+	SchedStats = sched.Stats
+	// LatencyDist summarizes a latency distribution (p50/p95/p99/max/mean).
+	LatencyDist = sched.LatencyDist
+	// QueryStat is one completed query's recorded life cycle.
+	QueryStat = sched.QueryStat
+	// Scheduler is the multi-tenant admission scheduler; embed one in a
+	// custom System-based simulation via NewScheduler.
+	Scheduler = sched.Scheduler
+)
+
+// NewScheduler creates an admission scheduler bound to the system's
+// virtual clock, for custom serving simulations built on System.
+func (s *System) NewScheduler(cfg SchedConfig) *Scheduler {
+	return sched.New(s.Eng, cfg)
+}
+
+// DefaultServeConfig re-exports the serving defaults: 64 streams,
+// 8 qps/stream, MPL 8, 64-deep admission queue, 250 ms SLO.
+func DefaultServeConfig() ServeConfig { return workload.DefaultServeConfig() }
+
+// RunServe exposes the open-loop serving driver directly.
+func RunServe(db *TPCHDB, cfg ServeConfig) *ServeResult { return workload.RunServe(db, cfg) }
+
+// ServeOptions parameterizes the serving sweep (cmd/scanbench -serve):
+// the cross product of arrival rates, MPL limits, and policies, each run
+// over Options.Streams open-loop client streams.
+type ServeOptions struct {
+	Options
+	// Rates is the per-stream arrival-rate axis in queries per virtual
+	// second (default {1, 5, 20}: light load, near saturation, overload
+	// at the default scale).
+	Rates []float64
+	// MPLs is the concurrency-limit axis (default {8, 32}).
+	MPLs []int
+	// Policies is the buffer-management axis (default LRU, Clock, PBM,
+	// CScan).
+	Policies []Policy
+	// QueueDepth bounds the admission queue (0 => default 64).
+	QueueDepth int
+	// SLO is the latency objective (0 => 250 ms).
+	SLO time.Duration
+}
+
+// DefaultServeOptions returns the serving-sweep defaults.
+func DefaultServeOptions() ServeOptions {
+	return ServeOptions{
+		Options:  DefaultOptions(),
+		Rates:    []float64{1, 5, 20},
+		MPLs:     []int{8, 32},
+		Policies: []Policy{LRU, Clock, PBM, CScan},
+		SLO:      250 * time.Millisecond,
+	}
+}
+
+func (o ServeOptions) fill() ServeOptions {
+	d := DefaultServeOptions()
+	o.Options = o.Options.fill()
+	if len(o.Rates) == 0 {
+		o.Rates = d.Rates
+	}
+	if len(o.MPLs) == 0 {
+		o.MPLs = d.MPLs
+	}
+	if len(o.Policies) == 0 {
+		o.Policies = d.Policies
+	}
+	if o.SLO == 0 {
+		o.SLO = d.SLO
+	}
+	return o
+}
+
+// ServeRow is one cell of the serving sweep: a (rate, MPL, policy)
+// configuration and its throughput/latency report.
+type ServeRow struct {
+	Rate       float64 // per-stream arrival rate (queries/s)
+	MPL        int
+	Policy     string
+	Completed  int64
+	Rejected   int64
+	Throughput float64 // completed queries per virtual second
+	P50ms      float64 // end-to-end latency percentiles (virtual ms)
+	P95ms      float64
+	P99ms      float64
+	QWaitP95ms float64 // queue-wait p95 (virtual ms)
+	SLOPct     float64 // fraction of completed queries meeting the SLO, 0..100
+	IOMB       float64
+}
+
+// ServeSweep runs the arrival-rate x MPL x policy cross product and
+// returns one row per cell.
+func ServeSweep(o ServeOptions) []ServeRow {
+	o = o.fill()
+	db := GenerateTPCH(o.SF, o.Seed)
+	var out []ServeRow
+	for _, rate := range o.Rates {
+		for _, mpl := range o.MPLs {
+			for _, pol := range o.Policies {
+				cfg := DefaultServeConfig()
+				cfg.Config = o.apply(cfg.Config)
+				cfg.Policy = pol
+				cfg.ArrivalRate = rate
+				cfg.MPL = mpl
+				cfg.QueueDepth = o.QueueDepth
+				cfg.SLO = o.SLO
+				res := workload.RunServe(db, cfg)
+				out = append(out, ServeRow{
+					Rate:       rate,
+					MPL:        mpl,
+					Policy:     pol.String(),
+					Completed:  res.Sched.Completed,
+					Rejected:   res.Sched.Rejected,
+					Throughput: res.Sched.Throughput,
+					P50ms:      ms(res.Sched.Latency.P50),
+					P95ms:      ms(res.Sched.Latency.P95),
+					P99ms:      ms(res.Sched.Latency.P99),
+					QWaitP95ms: ms(res.Sched.QueueWait.P95),
+					SLOPct:     res.Sched.SLOAttainment * 100,
+					IOMB:       mb(res.TotalIOBytes),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
