@@ -43,16 +43,21 @@ func main() {
 		cpu     = flag.Duration("cpu", 0, "override per-tuple CPU cost")
 		tsv     = flag.Bool("tsv", false, "emit tab-separated values")
 
-		serve = flag.Bool("serve", false, "run the open-loop serving sweep (arrival rate x MPL x policy)")
-		rates = flag.String("rates", "", "serve: comma-separated per-stream arrival rates in queries/s (default 1,5,20)")
-		mpls  = flag.String("mpls", "", "serve: comma-separated MPL concurrency limits (default 8,32)")
-		queue = flag.Int("queue", 0, "serve: admission queue depth (0 = default 64, negative = unbounded)")
-		slo   = flag.Duration("slo", 0, "serve: end-to-end latency SLO (default 250ms)")
+		serve  = flag.Bool("serve", false, "run the open-loop serving sweep (arrival rate x MPL x policy x pool shards)")
+		rates  = flag.String("rates", "", "serve: comma-separated per-stream arrival rates in queries/s (default 1,5,20)")
+		mpls   = flag.String("mpls", "", "serve: comma-separated MPL concurrency limits (default 8,32)")
+		shards = flag.String("shards", "", "buffer-pool shard counts: a comma-separated axis for -serve (default 1,8); the first value overrides the figure experiments' single pool")
+		queue  = flag.Int("queue", 0, "serve: admission queue depth (0 = default 64, negative = unbounded)")
+		slo    = flag.Duration("slo", 0, "serve: end-to-end latency SLO (default 250ms)")
 	)
 	flag.Parse()
+	shardAxis := parseInts(*shards, "shard count")
 	opts := scanshare.Options{
 		SF: *sf, Seed: *seed, Streams: *streams, QueriesPerStream: *queries,
 		ThreadsPerQuery: *threads, Cores: *cores, PerTupleCPU: *cpu,
+	}
+	if len(shardAxis) > 0 {
+		opts.PoolShards = shardAxis[0]
 	}
 	if *serve {
 		if flag.NArg() > 0 {
@@ -62,10 +67,13 @@ func main() {
 		so := scanshare.ServeOptions{
 			Options:    opts,
 			Rates:      parseFloats(*rates),
-			MPLs:       parseInts(*mpls),
+			MPLs:       parseInts(*mpls, "MPL"),
+			Shards:     shardAxis,
 			QueueDepth: *queue,
 			SLO:        *slo,
 		}
+		// The per-run override must not fight the sweep's own shard axis.
+		so.Options.PoolShards = 0
 		start := time.Now()
 		printServe(scanshare.ServeSweep(so), *tsv)
 		fmt.Printf("# serve done in %v\n", time.Since(start).Round(time.Millisecond))
@@ -208,24 +216,33 @@ func printAblation(rows []scanshare.AblationRow, tsv bool) {
 	w.Flush()
 }
 
-// printServe renders the serving sweep: one row per (rate, MPL, policy)
-// cell with throughput, latency percentiles, and SLO attainment.
+// printServe renders the serving sweep: one row per (rate, MPL, policy,
+// pool shards) cell with throughput, latency percentiles, and SLO
+// attainment; shard counts of the same cell print adjacent so the
+// sharding effect reads off directly. CScan rows print "-" for shards
+// (the ABM replaces the page pool).
 func printServe(rows []scanshare.ServeRow, tsv bool) {
-	fmt.Println("== Serving sweep: open-loop arrivals, admission control (latencies in virtual ms) ==")
+	fmt.Println("== Serving sweep: open-loop arrivals, admission control, sharded pool (latencies in virtual ms) ==")
+	shardCol := func(r scanshare.ServeRow) string {
+		if r.Shards <= 0 {
+			return "-"
+		}
+		return strconv.Itoa(r.Shards)
+	}
 	if tsv {
-		fmt.Printf("rate_qps\tmpl\tpolicy\tcompleted\trejected\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\tio_mb\n")
+		fmt.Printf("rate_qps\tmpl\tpolicy\tpool_shards\tcompleted\trejected\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\tio_mb\n")
 		for _, r := range rows {
-			fmt.Printf("%g\t%d\t%s\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%.1f\n",
-				r.Rate, r.MPL, r.Policy, r.Completed, r.Rejected, r.Throughput,
+			fmt.Printf("%g\t%d\t%s\t%s\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%.1f\n",
+				r.Rate, r.MPL, r.Policy, shardCol(r), r.Completed, r.Rejected, r.Throughput,
 				r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct, r.IOMB)
 		}
 		return
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "rate/stream\tMPL\tpolicy\tdone\trej\tthru (q/s)\tp50\tp95\tp99\tqwait p95\tSLO %\tI/O MB")
+	fmt.Fprintln(w, "rate/stream\tMPL\tpolicy\tshards\tdone\trej\tthru (q/s)\tp50\tp95\tp99\tqwait p95\tSLO %\tI/O MB")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%g\t%d\t%s\t%d\t%d\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%.1f\n",
-			r.Rate, r.MPL, r.Policy, r.Completed, r.Rejected, r.Throughput,
+		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%d\t%d\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%.1f\n",
+			r.Rate, r.MPL, r.Policy, shardCol(r), r.Completed, r.Rejected, r.Throughput,
 			r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct, r.IOMB)
 	}
 	w.Flush()
@@ -248,8 +265,9 @@ func parseFloats(s string) []float64 {
 	return out
 }
 
-// parseInts parses a comma-separated int list; empty input yields nil.
-func parseInts(s string) []int {
+// parseInts parses a comma-separated list of positive integers (label
+// names the flag in errors); empty input yields nil.
+func parseInts(s, label string) []int {
 	if s == "" {
 		return nil
 	}
@@ -257,7 +275,7 @@ func parseInts(s string) []int {
 	for _, f := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || v <= 0 {
-			fmt.Fprintf(os.Stderr, "bad MPL %q: must be a positive integer\n", f)
+			fmt.Fprintf(os.Stderr, "bad %s %q: must be a positive integer\n", label, f)
 			os.Exit(2)
 		}
 		out = append(out, v)

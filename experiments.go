@@ -21,6 +21,10 @@ type Options struct {
 	Cores            int
 	// PerTupleCPU overrides the calibrated per-tuple CPU cost.
 	PerTupleCPU time.Duration
+	// PoolShards overrides the buffer-pool shard count when nonzero
+	// (figure experiments default to the paper's single pool; the serve
+	// sweep has its own shard axis, see ServeOptions.Shards).
+	PoolShards int
 }
 
 // DefaultOptions returns the experiment defaults.
@@ -55,6 +59,9 @@ func (o Options) apply(cfg workload.Config) workload.Config {
 	}
 	if o.PerTupleCPU > 0 {
 		cfg.PerTupleCPU = o.PerTupleCPU
+	}
+	if o.PoolShards > 0 {
+		cfg.PoolShards = o.PoolShards
 	}
 	return cfg
 }

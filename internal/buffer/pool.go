@@ -4,6 +4,15 @@
 // the policy only decides what to evict — exactly the architecture PBM
 // slots into without disrupting (§3), in contrast to the Active Buffer
 // Manager of Cooperative Scans which takes over loading itself.
+//
+// The pool is sharded: the frame map, in-flight table, blocked-reservation
+// queue, replacement-policy instance, and slice of the byte budget are
+// partitioned by PageID hash into N shards, so concurrent scans touch
+// disjoint metadata on the hot path. The byte budget itself is global —
+// a shard whose reservation exceeds its slice borrows free capacity from
+// the others, and eviction under global pressure pays borrowed capacity
+// back first (see shard.reserve). A 1-shard pool is bit-identical to the
+// historical unsharded implementation.
 package buffer
 
 import (
@@ -13,6 +22,11 @@ import (
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
+
+// DefaultShards is the shard count used by serving configurations when
+// none is given. Figure-reproduction experiments default to 1 shard (the
+// paper's single buffer manager).
+const DefaultShards = 8
 
 // Frame is a buffer slot holding one cached page.
 type Frame struct {
@@ -26,7 +40,8 @@ type Frame struct {
 	// refbit is owned by the Clock policy.
 	refbit bool
 	// PolicyState is an opaque per-frame cookie owned by the policy (PBM
-	// stores its page metadata pointer here).
+	// stores its page metadata pointer here). With a sharded pool the
+	// cookie is owned by the shard's own policy instance.
 	PolicyState any
 }
 
@@ -36,9 +51,10 @@ func (f *Frame) Pinned() bool { return f.pins > 0 }
 // Loading reports whether the frame's page is still being read from disk.
 func (f *Frame) Loading() bool { return f.loading }
 
-// Policy is a replacement policy plugged into a Pool. The pool calls the
-// lifecycle hooks; Victim must return an unpinned, non-loading frame to
-// evict, or nil if none exists.
+// Policy is a replacement policy plugged into a pool shard. The shard
+// calls the lifecycle hooks; Victim must return an unpinned, non-loading
+// frame to evict, or nil if none exists. Each shard owns a private
+// Policy instance and only ever passes it frames of its own pages.
 type Policy interface {
 	Name() string
 	Admitted(f *Frame)
@@ -58,79 +74,174 @@ type Stats struct {
 	Stalls int64
 }
 
-// Pool is a byte-budgeted page cache.
-type Pool struct {
-	eng      *sim.Engine
-	disk     *iosim.Disk
-	policy   Policy
-	capacity int64 // bytes
-	used     int64
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.BytesLoaded += o.BytesLoaded
+	s.Evictions += o.Evictions
+	s.Stalls += o.Stalls
+}
+
+// shard owns one partition of the pool: the frames and in-flight tables
+// for the pages hashing to it, a private replacement-policy instance, a
+// slice of the byte budget, and the queue of reservations blocked on it.
+type shard struct {
+	pool   *Pool
+	idx    int
+	policy Policy
+	slice  int64 // this shard's slice of the byte budget
+	used   int64
 
 	frames   map[storage.PageID]*Frame
 	inFlight map[storage.PageID]*sim.Event
-	nLoading int
-	nPinned  int // frames with pins > 0
 
-	// freedQ holds one event per blocked reservation; each frame release
-	// (unpin or load completion) wakes exactly one waiter, avoiding a
-	// thundering herd when the pool is saturated with pinned frames.
+	// freedQ holds one event per blocked reservation parked on this
+	// shard; each frame release wakes one waiter per freed frame,
+	// avoiding a thundering herd when the pool is saturated with pinned
+	// frames.
 	freedQ []*sim.Event
 
 	stats Stats
+}
+
+// Pool is a byte-budgeted page cache partitioned into shards.
+type Pool struct {
+	eng      *sim.Engine
+	disk     *iosim.Disk
+	capacity int64 // bytes, global across shards
+	used     int64 // sum of shard used
+	nPinned  int
+	nLoading int
+
+	shards []*shard
 
 	// OnAccess, if non-nil, observes every logical page access (hit or
 	// miss) in request order; the OPT trace recorder hooks in here.
 	OnAccess func(p *storage.Page)
 }
 
-// NewPool creates a pool of the given byte capacity.
+// NewPool creates a single-shard pool around one policy instance — the
+// historical constructor, bit-identical to the pre-sharding behavior.
 func NewPool(eng *sim.Engine, disk *iosim.Disk, policy Policy, capacity int64) *Pool {
+	if policy == nil {
+		panic("buffer: nil policy")
+	}
+	return NewShardedPool(eng, disk, func(int) Policy { return policy }, capacity, 1)
+}
+
+// NewShardedPool creates a pool of the given byte capacity partitioned
+// into shards. factory is called once per shard (with the shard index)
+// so every shard owns a private policy instance; use FactoryOf for the
+// registered built-in policies.
+func NewShardedPool(eng *sim.Engine, disk *iosim.Disk, factory func(shard int) Policy, capacity int64, shards int) *Pool {
 	if capacity <= 0 {
 		panic("buffer: capacity must be positive")
 	}
-	return &Pool{
-		eng:      eng,
-		disk:     disk,
-		policy:   policy,
-		capacity: capacity,
-		frames:   make(map[storage.PageID]*Frame),
-		inFlight: make(map[storage.PageID]*sim.Event),
+	if shards <= 0 {
+		shards = 1
 	}
-}
-
-// wakeOneReserver releases the oldest blocked reservation, if any.
-func (p *Pool) wakeOneReserver() {
-	if len(p.freedQ) == 0 {
-		return
+	p := &Pool{eng: eng, disk: disk, capacity: capacity, shards: make([]*shard, shards)}
+	base := capacity / int64(shards)
+	rem := capacity % int64(shards)
+	for i := range p.shards {
+		slice := base
+		if int64(i) < rem {
+			slice++
+		}
+		pol := factory(i)
+		if pol == nil {
+			panic("buffer: policy factory returned nil")
+		}
+		p.shards[i] = &shard{
+			pool:     p,
+			idx:      i,
+			policy:   pol,
+			slice:    slice,
+			frames:   make(map[storage.PageID]*Frame),
+			inFlight: make(map[storage.PageID]*sim.Event),
+		}
 	}
-	ev := p.freedQ[0]
-	p.freedQ = p.freedQ[1:]
-	ev.Fire()
+	return p
 }
 
-// waitFreed blocks the caller until one frame release wakes it.
-func (p *Pool) waitFreed() {
-	ev := p.eng.NewEvent()
-	p.freedQ = append(p.freedQ, ev)
-	ev.Wait()
+// ShardFor returns the index of the shard that owns id.
+func (p *Pool) ShardFor(id storage.PageID) int {
+	if len(p.shards) == 1 {
+		return 0
+	}
+	// Fibonacci hashing spreads the sequential PageIDs of a column scan
+	// across shards.
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return int(h % uint64(len(p.shards)))
 }
 
-// Policy returns the pool's replacement policy.
-func (p *Pool) Policy() Policy { return p.policy }
+func (p *Pool) shardOf(id storage.PageID) *shard { return p.shards[p.ShardFor(id)] }
+
+// Shards returns the number of shards.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// Policy returns shard 0's replacement policy (the pool's only policy
+// instance when unsharded).
+func (p *Pool) Policy() Policy { return p.shards[0].policy }
+
+// ShardPolicy returns shard i's replacement-policy instance.
+func (p *Pool) ShardPolicy(i int) Policy { return p.shards[i].policy }
 
 // Capacity returns the pool capacity in bytes.
 func (p *Pool) Capacity() int64 { return p.capacity }
 
-// Used returns the bytes currently cached (including in-flight loads).
+// Used returns the bytes currently cached (including in-flight loads),
+// summed over all shards.
 func (p *Pool) Used() int64 { return p.used }
 
-// Stats returns a snapshot of the counters.
-func (p *Pool) Stats() Stats { return p.stats }
+// Stats returns a snapshot of the counters, summed over all shards.
+func (p *Pool) Stats() Stats {
+	var s Stats
+	for _, sh := range p.shards {
+		s.add(sh.stats)
+	}
+	return s
+}
+
+// ShardStats returns a snapshot of each shard's counters.
+func (p *Pool) ShardStats() []Stats {
+	out := make([]Stats, len(p.shards))
+	for i, sh := range p.shards {
+		out[i] = sh.stats
+	}
+	return out
+}
 
 // Contains reports whether pg is resident (and fully loaded).
 func (p *Pool) Contains(pg *storage.Page) bool {
-	f, ok := p.frames[pg.ID]
+	f, ok := p.shardOf(pg.ID).frames[pg.ID]
 	return ok && !f.loading
+}
+
+// wakeReservers releases up to n blocked reservations, draining this
+// shard's queue first and then the other shards' queues in ring order:
+// the byte budget is global (capacity borrowing), so capacity freed here
+// may be exactly what a reservation parked on another shard is waiting
+// for — only the queues are partitioned.
+func (s *shard) wakeReservers(n int) {
+	p := s.pool
+	for i := 0; i < len(p.shards) && n > 0; i++ {
+		t := p.shards[(s.idx+i)%len(p.shards)]
+		for n > 0 && len(t.freedQ) > 0 {
+			ev := t.freedQ[0]
+			t.freedQ = t.freedQ[1:]
+			ev.Fire()
+			n--
+		}
+	}
+}
+
+// waitFreed blocks the caller until one frame release wakes it.
+func (s *shard) waitFreed() {
+	ev := s.pool.eng.NewEvent()
+	s.freedQ = append(s.freedQ, ev)
+	ev.Wait()
 }
 
 // Get returns a pinned frame for pg, reading it from disk on a miss (which
@@ -167,7 +278,7 @@ func (p *Pool) loadRun(run []*storage.Page) {
 		batch = nil
 	}
 	for _, pg := range run {
-		if _, ok := p.frames[pg.ID]; ok {
+		if _, ok := p.shardOf(pg.ID).frames[pg.ID]; ok {
 			flush()
 			continue
 		}
@@ -179,76 +290,97 @@ func (p *Pool) loadRun(run []*storage.Page) {
 	flush()
 }
 
-// loadBatch reads a block-contiguous batch of absent pages in one request.
+// loadBatch reads a block-contiguous batch of absent pages, one disk
+// request per stretch that is still absent and contiguous when the
+// reservation is granted. A remainder cut off by a concurrent admission
+// is re-issued as a fresh batch instead of being dropped — GetRun's
+// run[1:] pages have no later call that would pick them up.
 func (p *Pool) loadBatch(batch []*storage.Page) {
+	for len(batch) > 0 {
+		batch = p.loadBatchPrefix(batch)
+	}
+}
+
+// loadBatchPrefix loads the longest still-absent block-contiguous prefix
+// of batch in one disk request and returns the unprocessed remainder.
+func (p *Pool) loadBatchPrefix(batch []*storage.Page) []*storage.Page {
 	var bytes int64
 	for _, pg := range batch {
 		bytes += pg.Bytes
 	}
-	p.reserve(bytes)
+	// Reserve against the head page's shard: the byte budget is global,
+	// the shard only anchors victim preference and the stall queue.
+	p.shardOf(batch[0].ID).reserve(bytes)
 	// Re-check absence: the reservation may have yielded and another
 	// process may have started loading some of these pages meanwhile.
-	kept := batch[:0]
+	var kept []*storage.Page
+	var rest []*storage.Page
 	bytes = 0
 	var lastBlock iosim.BlockID
-	for _, pg := range batch {
-		if _, ok := p.frames[pg.ID]; ok {
+	for i, pg := range batch {
+		if _, ok := p.shardOf(pg.ID).frames[pg.ID]; ok {
 			continue
 		}
 		if len(kept) > 0 && pg.Block != lastBlock+1 {
-			break // contiguity broken; the next call picks the rest up
+			rest = batch[i:] // contiguity broken; re-issue as a new batch
+			break
 		}
 		kept = append(kept, pg)
 		lastBlock = pg.Block
 		bytes += pg.Bytes
 	}
 	if len(kept) == 0 {
-		return
+		return rest
 	}
 	ev := p.eng.NewEvent()
 	frames := make([]*Frame, len(kept))
 	for i, pg := range kept {
+		s := p.shardOf(pg.ID)
 		f := &Frame{Page: pg, loading: true}
-		p.inFlight[pg.ID] = ev
-		p.frames[pg.ID] = f
+		s.inFlight[pg.ID] = ev
+		s.frames[pg.ID] = f
+		s.used += pg.Bytes
 		p.used += pg.Bytes
 		frames[i] = f
 		p.nLoading++
-		p.stats.Misses++
-		p.stats.BytesLoaded += pg.Bytes
+		s.stats.Misses++
+		s.stats.BytesLoaded += pg.Bytes
 		if p.OnAccess != nil {
 			p.OnAccess(pg)
 		}
 	}
 	p.disk.Read(kept[0].Block, len(kept), bytes)
 	for i, pg := range kept {
+		s := p.shardOf(pg.ID)
 		frames[i].loading = false
 		p.nLoading--
-		delete(p.inFlight, pg.ID)
-		p.policy.Admitted(frames[i])
+		delete(s.inFlight, pg.ID)
+		s.policy.Admitted(frames[i])
 	}
 	ev.Fire()
-	p.wakeOneReserver()
+	p.shardOf(kept[0].ID).wakeReservers(1)
+	return rest
 }
 
 func (p *Pool) get(pg *storage.Page) *Frame {
+	s := p.shardOf(pg.ID)
 	for {
-		if f, ok := p.frames[pg.ID]; ok {
+		if f, ok := s.frames[pg.ID]; ok {
 			if f.loading {
-				p.inFlight[pg.ID].Wait()
+				s.inFlight[pg.ID].Wait()
 				continue // re-check: the frame may have been re-evicted
 			}
-			p.pin(f)
-			p.stats.Hits++
+			s.pin(f)
+			s.stats.Hits++
 			if p.OnAccess != nil {
 				p.OnAccess(pg)
 			}
-			p.policy.Accessed(f)
+			s.policy.Accessed(f)
 			return f
 		}
-		p.reserve(pg.Bytes)
+		s.reserve(pg.Bytes)
 		// reserve may yield: another process may have admitted the page.
-		if _, ok := p.frames[pg.ID]; ok {
+		if _, ok := s.frames[pg.ID]; ok {
 			continue
 		}
 		break
@@ -257,57 +389,97 @@ func (p *Pool) get(pg *storage.Page) *Frame {
 	// Miss: this process performs the read.
 	ev := p.eng.NewEvent()
 	f := &Frame{Page: pg, loading: true}
-	p.pin(f)
-	p.inFlight[pg.ID] = ev
-	p.frames[pg.ID] = f
+	s.pin(f)
+	s.inFlight[pg.ID] = ev
+	s.frames[pg.ID] = f
+	s.used += pg.Bytes
 	p.used += pg.Bytes
 	p.nLoading++
-	p.stats.Misses++
-	p.stats.BytesLoaded += pg.Bytes
+	s.stats.Misses++
+	s.stats.BytesLoaded += pg.Bytes
 	if p.OnAccess != nil {
 		p.OnAccess(pg)
 	}
 	p.disk.Read(pg.Block, 1, pg.Bytes)
 	f.loading = false
 	p.nLoading--
-	delete(p.inFlight, pg.ID)
-	p.policy.Admitted(f)
+	delete(s.inFlight, pg.ID)
+	s.policy.Admitted(f)
 	ev.Fire()
-	p.wakeOneReserver()
+	s.wakeReservers(1)
 	return f
 }
 
-// reserve evicts victims until bytes fit within capacity, waiting (in
-// virtual time) for pinned or in-flight frames to become evictable when
-// the policy has no victim to offer. It panics only when blocking cannot
-// help: a request larger than the pool, or nothing pinned or loading.
-func (p *Pool) reserve(bytes int64) {
+// reserve evicts victims until bytes fit within the global capacity,
+// waiting (in virtual time) for pinned or in-flight frames to become
+// evictable when no policy has a victim to offer. A reservation larger
+// than the shard's slice of the budget simply borrows free capacity from
+// the other shards; eviction only starts when the pool as a whole is
+// full, first from this shard, then — paying borrowed capacity back —
+// from shards over their slice, then from the rest in ring order. It
+// panics only when blocking cannot help: a request larger than the pool,
+// or nothing pinned or loading anywhere.
+func (s *shard) reserve(bytes int64) {
+	p := s.pool
 	if bytes > p.capacity {
 		panic(fmt.Sprintf("buffer: request of %d bytes exceeds pool capacity %d", bytes, p.capacity))
 	}
 	for p.used+bytes > p.capacity {
-		v := p.policy.Victim()
-		if v != nil {
-			if v.Pinned() || v.Loading() {
-				panic("buffer: policy returned pinned or loading victim")
-			}
-			delete(p.frames, v.Page.ID)
-			p.used -= v.Page.Bytes
-			p.stats.Evictions++
-			p.policy.Removed(v)
+		if s.evictOne() {
+			continue
+		}
+		if p.evictFromOthers(s) {
 			continue
 		}
 		if p.nPinned == 0 && p.nLoading == 0 {
 			panic(fmt.Sprintf("buffer: pool overcommitted: %d/%d bytes with nothing pinned or loading", p.used, p.capacity))
 		}
-		p.stats.Stalls++
-		p.waitFreed()
+		s.stats.Stalls++
+		s.waitFreed()
 	}
 }
 
-func (p *Pool) pin(f *Frame) {
+// evictOne removes one victim offered by this shard's policy, reporting
+// whether one was available.
+func (s *shard) evictOne() bool {
+	v := s.policy.Victim()
+	if v == nil {
+		return false
+	}
+	if v.Pinned() || v.Loading() {
+		panic("buffer: policy returned pinned or loading victim")
+	}
+	delete(s.frames, v.Page.ID)
+	s.used -= v.Page.Bytes
+	s.pool.used -= v.Page.Bytes
+	s.stats.Evictions++
+	s.policy.Removed(v)
+	return true
+}
+
+// evictFromOthers tries the other shards for a victim on behalf of s:
+// shards over their budget slice first (borrowed capacity is paid back
+// before anyone else is disturbed), then the rest, in ring order from s.
+func (p *Pool) evictFromOthers(s *shard) bool {
+	n := len(p.shards)
+	for pass := 0; pass < 2; pass++ {
+		for i := 1; i < n; i++ {
+			t := p.shards[(s.idx+i)%n]
+			over := t.used > t.slice
+			if (pass == 0) != over {
+				continue
+			}
+			if t.evictOne() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *shard) pin(f *Frame) {
 	if f.pins == 0 {
-		p.nPinned++
+		s.pool.nPinned++
 	}
 	f.pins++
 }
@@ -320,20 +492,29 @@ func (p *Pool) Unpin(f *Frame) {
 	f.pins--
 	if f.pins == 0 {
 		p.nPinned--
-		p.wakeOneReserver()
+		p.shardOf(f.Page.ID).wakeReservers(1)
 	}
 }
 
 // FlushAll drops every unpinned resident page (used between experiment
-// phases to cold-start the cache).
+// phases to cold-start the cache). Every freed frame wakes one blocked
+// reservation: a single wake-up would strand the rest forever when a
+// flush races in-flight admissions, because a woken reserver whose page
+// was admitted meanwhile takes the hit path and never passes the wake-up
+// on.
 func (p *Pool) FlushAll() {
-	for id, f := range p.frames {
-		if f.Pinned() || f.Loading() {
-			continue
+	for _, s := range p.shards {
+		freed := 0
+		for id, f := range s.frames {
+			if f.Pinned() || f.Loading() {
+				continue
+			}
+			delete(s.frames, id)
+			s.used -= f.Page.Bytes
+			p.used -= f.Page.Bytes
+			s.policy.Removed(f)
+			freed++
 		}
-		delete(p.frames, id)
-		p.used -= f.Page.Bytes
-		p.policy.Removed(f)
+		s.wakeReservers(freed)
 	}
-	p.wakeOneReserver()
 }

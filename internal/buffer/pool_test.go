@@ -274,6 +274,259 @@ func TestPropertyLRUInvariant(t *testing.T) {
 	}
 }
 
+// neverEvict refuses to offer victims, modelling the saturated states
+// (everything pinned or in flight) that block reservations.
+type neverEvict struct{}
+
+func (neverEvict) Name() string    { return "NeverEvict" }
+func (neverEvict) Admitted(*Frame) {}
+func (neverEvict) Accessed(*Frame) {}
+func (neverEvict) Removed(*Frame)  {}
+func (neverEvict) Victim() *Frame  { return nil }
+
+// Regression: FlushAll must wake one blocked reserver per freed frame.
+// Waking just one stranded the rest forever when a woken reserver's page
+// had been admitted meanwhile: it takes the hit path and never passes
+// the wake-up on, and with the old code this test deadlocks the engine.
+func TestFlushWakesOneReserverPerFreedFrame(t *testing.T) {
+	eng, pool, pages := poolFixture(t, neverEvict{}, 3, 8)
+	done := 0
+	eng.Go("pinner", func() {
+		_ = pool.Get(pages[0]) // pinned for the whole test
+		pool.Unpin(pool.Get(pages[1]))
+		pool.Unpin(pool.Get(pages[2]))
+		eng.Sleep(10 * time.Millisecond)
+		// All three reservers are now parked: the pool is full and the
+		// policy offers no victim.
+		pool.FlushAll() // frees pages 1 and 2 -> must wake two reservers
+	})
+	for i := 0; i < 3; i++ {
+		eng.Go("w", func() {
+			eng.Sleep(time.Millisecond)
+			f := pool.Get(pages[3]) // all three want the same page
+			pool.Unpin(f)
+			done++
+		})
+	}
+	eng.Run()
+	if done != 3 {
+		t.Fatalf("done = %d, want 3", done)
+	}
+	s := pool.Stats()
+	if s.Stalls < 3 {
+		t.Fatalf("stalls = %d, want >= 3 (all reservers must have blocked)", s.Stalls)
+	}
+}
+
+// A run with a block gap must still load every page: loadRun splits the
+// batches at the gap.
+func TestGetRunNonContiguousRunLoadsAll(t *testing.T) {
+	eng, pool, pages := poolFixture(t, NewLRU(), 8, 8)
+	eng.Go("q", func() {
+		run := []*storage.Page{pages[0], pages[1], pages[2], pages[4], pages[5]}
+		f := pool.GetRun(run)
+		pool.Unpin(f)
+		for _, pg := range run {
+			if !pool.Contains(pg) {
+				t.Errorf("page %d not admitted by non-contiguous GetRun", pg.ID)
+			}
+		}
+		if pool.Contains(pages[3]) {
+			t.Error("page outside the run was loaded")
+		}
+	})
+	eng.Run()
+	if got := pool.Stats().Misses; got != 5 {
+		t.Fatalf("misses = %d, want 5", got)
+	}
+}
+
+// Regression: when a reservation stall lets another process admit a page
+// from the middle of a read-ahead batch, the old loadBatch dropped the
+// pages after the contiguity break on the floor — GetRun(run[1:]) pages
+// have no later call that would pick them up. They must be re-issued as
+// a fresh batch.
+func TestGetRunReissuesRemainderAfterRace(t *testing.T) {
+	eng, pool, pages := poolFixture(t, neverEvict{}, 4, 10)
+	eng.Go("pinner", func() {
+		f0 := pool.Get(pages[0])
+		f7 := pool.Get(pages[7])
+		eng.Sleep(10 * time.Millisecond)
+		pool.Unpin(f0)
+		pool.Unpin(f7)
+		pool.FlushAll()
+	})
+	eng.Go("runner", func() {
+		eng.Sleep(time.Millisecond)
+		// Read-ahead batch [2,3,4]; blocks in reserve (pool full of
+		// pinned frames, no victims).
+		f := pool.GetRun(pages[1:5])
+		pool.Unpin(f)
+		for i := 1; i < 5; i++ {
+			if !pool.Contains(pages[i]) {
+				t.Errorf("page %d missing after raced GetRun", i)
+			}
+		}
+	})
+	eng.Go("mid", func() {
+		eng.Sleep(2 * time.Millisecond)
+		// Admits the middle of the runner's batch while it is stalled,
+		// breaking the batch's contiguity, and holds the pin across the
+		// flush so the page survives.
+		f := pool.Get(pages[3])
+		eng.Sleep(20 * time.Millisecond)
+		pool.Unpin(f)
+	})
+	eng.Run()
+}
+
+func shardedFixture(t testing.TB, shards, capPages, nPages int) (*sim.Engine, *Pool, []*storage.Page) {
+	t.Helper()
+	eng := sim.NewEngine()
+	disk := iosim.New(eng, iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
+	pool := NewShardedPool(eng, disk, FactoryOf("LRU"), int64(capPages)*storage.PageSize, shards)
+	return eng, pool, makePages(t, nPages)
+}
+
+// Property: under any access pattern on a sharded pool, every resident
+// page lives in the shard its hash selects, the aggregate Used equals
+// the sum over shards, aggregate Stats equal the shard sums, and the
+// global capacity holds.
+func TestPropertyShardInvariants(t *testing.T) {
+	f := func(accesses []uint8) bool {
+		if len(accesses) == 0 {
+			return true
+		}
+		eng, pool, pages := shardedFixture(t, 5, 8, 32)
+		ok := true
+		eng.Go("q", func() {
+			for _, a := range accesses {
+				fr := pool.Get(pages[int(a)%len(pages)])
+				pool.Unpin(fr)
+				if pool.Used() > pool.Capacity() {
+					ok = false
+				}
+			}
+		})
+		eng.Run()
+		var used int64
+		var sum Stats
+		for i, sh := range pool.shards {
+			for id := range sh.frames {
+				if pool.ShardFor(id) != i {
+					t.Errorf("page %d resident in shard %d, hashes to %d", id, i, pool.ShardFor(id))
+					ok = false
+				}
+			}
+			used += sh.used
+			sum.add(sh.stats)
+		}
+		if used != pool.Used() {
+			t.Errorf("sum of shard used %d != pool used %d", used, pool.Used())
+			ok = false
+		}
+		if sum != pool.Stats() {
+			t.Errorf("sum of shard stats %+v != pool stats %+v", sum, pool.Stats())
+			ok = false
+		}
+		if s := pool.Stats(); s.Hits+s.Misses != int64(len(accesses)) {
+			t.Errorf("hits %d + misses %d != accesses %d", s.Hits, s.Misses, len(accesses))
+			ok = false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A shard may borrow free capacity beyond its slice of the budget; when
+// the pool fills up, eviction pays the borrowed capacity back before
+// disturbing shards within their slice.
+func TestShardCapacityBorrowing(t *testing.T) {
+	eng, pool, pages := shardedFixture(t, 4, 4, 64)
+	byShard := make([][]*storage.Page, 4)
+	for _, pg := range pages {
+		s := pool.ShardFor(pg.ID)
+		byShard[s] = append(byShard[s], pg)
+	}
+	target := -1
+	for s, pgs := range byShard {
+		if len(pgs) >= 3 {
+			target = s
+			break
+		}
+	}
+	var others []*storage.Page
+	for s, pgs := range byShard {
+		if s != target && len(pgs) > 0 {
+			others = append(others, pgs[0])
+		}
+	}
+	if target < 0 || len(others) < 2 {
+		t.Fatalf("hash did not spread 64 pages usefully: %v", byShard)
+	}
+	// Distinct non-target shards for the two probe pages.
+	if pool.ShardFor(others[0].ID) == pool.ShardFor(others[1].ID) {
+		t.Fatal("probe pages share a shard")
+	}
+	eng.Go("q", func() {
+		own := byShard[target]
+		// Three pages in one shard: two beyond its 1-page slice, borrowed
+		// from the global budget.
+		for i := 0; i < 3; i++ {
+			pool.Unpin(pool.Get(own[i]))
+		}
+		if got := pool.shards[target].used; got != 3*storage.PageSize {
+			t.Errorf("borrowing shard used = %d, want 3 pages", got)
+		}
+		// A fourth page elsewhere still fits without eviction.
+		pool.Unpin(pool.Get(others[0]))
+		if ev := pool.Stats().Evictions; ev != 0 {
+			t.Errorf("evictions = %d before the pool filled", ev)
+		}
+		// The fifth page must evict, and the victim comes from the
+		// borrowing (over-slice) shard, not the probe's own empty shard.
+		pool.Unpin(pool.Get(others[1]))
+		if pool.Contains(own[0]) {
+			t.Error("expected payback eviction of the borrowing shard's LRU page")
+		}
+		if pool.Used() > pool.Capacity() {
+			t.Errorf("used %d exceeds capacity %d", pool.Used(), pool.Capacity())
+		}
+	})
+	eng.Run()
+}
+
+// A 1-shard pool must behave exactly like the historical unsharded pool;
+// the sharded constructor with n=1 and NewPool must agree counter for
+// counter on any trace.
+func TestSingleShardMatchesNewPool(t *testing.T) {
+	trace := []int{0, 1, 2, 3, 0, 4, 5, 1, 6, 2, 7, 0, 3, 3, 5}
+	run := func(mk func(eng *sim.Engine, disk *iosim.Disk) *Pool) (Stats, sim.Time) {
+		eng := sim.NewEngine()
+		disk := iosim.New(eng, iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
+		pool := mk(eng, disk)
+		pages := makePages(t, 8)
+		eng.Go("q", func() {
+			for _, i := range trace {
+				pool.Unpin(pool.Get(pages[i]))
+			}
+		})
+		eng.Run()
+		return pool.Stats(), eng.Now()
+	}
+	sa, ta := run(func(eng *sim.Engine, disk *iosim.Disk) *Pool {
+		return NewPool(eng, disk, NewLRU(), 4*storage.PageSize)
+	})
+	sb, tb := run(func(eng *sim.Engine, disk *iosim.Disk) *Pool {
+		return NewShardedPool(eng, disk, FactoryOf("LRU"), 4*storage.PageSize, 1)
+	})
+	if sa != sb || ta != tb {
+		t.Fatalf("single-shard divergence: %+v at %v vs %+v at %v", sa, ta, sb, tb)
+	}
+}
+
 // Property: hits + misses equals total accesses for every policy.
 func TestPropertyAccountingBalances(t *testing.T) {
 	policies := []func() Policy{

@@ -54,7 +54,11 @@ func newSys(policy workload.Policy, capBytes int64) *sys {
 		}
 		s.pool = buffer.NewPool(s.eng, s.disk, pol, capBytes)
 		s.ctx.Pool = s.pool
-		s.ctx.PBM = s.pbm
+		if s.pbm != nil {
+			// Ctx.PBM is an interface; assigning a typed-nil *pbm.PBM
+			// would defeat the scans' nil check.
+			s.ctx.PBM = s.pbm
+		}
 	}
 	return s
 }

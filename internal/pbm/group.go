@@ -1,0 +1,124 @@
+package pbm
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Registry is the scan-facing surface of predictive buffer management,
+// shared by a single *PBM and a sharded *Group: scans register their
+// future accesses, report progress, and consult the throttle advice
+// without knowing how many policy instances sit behind the pool.
+type Registry interface {
+	RegisterScan(pagesPerColumn [][]*storage.Page) ScanID
+	ReportScanPosition(id ScanID, tuplesConsumed int64)
+	UnregisterScan(id ScanID)
+	ThrottleEnabled() bool
+	ShouldThrottle(id ScanID) bool
+	ThrottlePause() sim.Duration
+}
+
+var (
+	_ Registry = (*PBM)(nil)
+	_ Registry = (*Group)(nil)
+)
+
+// Group runs one PBM instance per buffer-pool shard and fans every scan
+// registration and progress report out to all of them. Every member sees
+// the identical registration stream, so their scan tables, speed
+// estimates, and ScanIDs agree; what differs per member is the frame
+// side: a member's bucket timeline only ever holds the frames resident
+// in its own shard, because frames are attached through the pool's
+// per-shard Admitted callbacks.
+type Group struct {
+	members []*PBM
+}
+
+// NewGroup creates shards PBM instances sharing one clock and config.
+func NewGroup(clock Clock, cfg Config, shards int) *Group {
+	if shards <= 0 {
+		shards = 1
+	}
+	g := &Group{members: make([]*PBM, shards)}
+	for i := range g.members {
+		g.members[i] = New(clock, cfg)
+	}
+	return g
+}
+
+// Size returns the number of member instances.
+func (g *Group) Size() int { return len(g.members) }
+
+// Member returns the i-th member instance (the shard-i policy).
+func (g *Group) Member(i int) *PBM { return g.members[i] }
+
+// PolicyFactory adapts the group to buffer.NewShardedPool: shard i is
+// backed by member i.
+func (g *Group) PolicyFactory() func(shard int) buffer.Policy {
+	return func(i int) buffer.Policy { return g.members[i] }
+}
+
+// RegisterScan fans the registration out to every member. Members assign
+// IDs from identical call sequences, so the IDs agree by construction.
+func (g *Group) RegisterScan(pagesPerColumn [][]*storage.Page) ScanID {
+	id := g.members[0].RegisterScan(pagesPerColumn)
+	for _, m := range g.members[1:] {
+		if mid := m.RegisterScan(pagesPerColumn); mid != id {
+			panic(fmt.Sprintf("pbm: shard scan-id divergence: %d vs %d", mid, id))
+		}
+	}
+	return id
+}
+
+// ReportScanPosition implements Registry by fan-out.
+func (g *Group) ReportScanPosition(id ScanID, tuplesConsumed int64) {
+	for _, m := range g.members {
+		m.ReportScanPosition(id, tuplesConsumed)
+	}
+}
+
+// UnregisterScan implements Registry by fan-out.
+func (g *Group) UnregisterScan(id ScanID) {
+	for _, m := range g.members {
+		m.UnregisterScan(id)
+	}
+}
+
+// SetThrottle configures the attach&throttle extension on every member.
+func (g *Group) SetThrottle(cfg ThrottleConfig) {
+	for _, m := range g.members {
+		m.SetThrottle(cfg)
+	}
+}
+
+// ThrottleEnabled reports whether the extension is active (uniform
+// across members).
+func (g *Group) ThrottleEnabled() bool { return g.members[0].ThrottleEnabled() }
+
+// ThrottlePause returns the configured pause duration.
+func (g *Group) ThrottlePause() sim.Duration { return g.members[0].ThrottlePause() }
+
+// ShouldThrottle advises a pause when any member does: the members share
+// scan state but each only observes its own shard's evictions, so the
+// eviction horizon that triggers the advice is per shard.
+func (g *Group) ShouldThrottle(id ScanID) bool {
+	for _, m := range g.members {
+		if m.ShouldThrottle(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// ScanSpeed reports the speed estimate for a scan (identical across
+// members, which see the same progress reports).
+func (g *Group) ScanSpeed(id ScanID) float64 { return g.members[0].ScanSpeed(id) }
+
+// SharingVolumes returns the Figure 17/18 sharing histogram. Scan claims
+// are mirrored in every member, so member 0 has the full picture for
+// k >= 1; only the k = 0 bucket (pages wanted by no scan) is shard-local
+// and under-counted here, and no caller consumes it.
+func (g *Group) SharingVolumes() [5]int64 { return g.members[0].SharingVolumes() }

@@ -1,0 +1,74 @@
+package pbm
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+// groupPages builds n one-page metadata stubs (the group tests never
+// touch page contents).
+func groupPages(n int) []*storage.Page {
+	out := make([]*storage.Page, n)
+	for i := range out {
+		out[i] = &storage.Page{ID: storage.PageID(i + 1), Tuples: 100, Bytes: 1 << 14}
+	}
+	return out
+}
+
+func TestGroupScanIDsAgreeAcrossMembers(t *testing.T) {
+	g := NewGroup(&fakeClock{}, testCfg(), 4)
+	pages := groupPages(8)
+	id1 := g.RegisterScan([][]*storage.Page{pages[:4]})
+	id2 := g.RegisterScan([][]*storage.Page{pages[4:]})
+	if id1 == id2 {
+		t.Fatalf("distinct scans share id %d", id1)
+	}
+	// Progress reports fan out: every member sees the same speed inputs.
+	g.ReportScanPosition(id1, 50)
+	for i := 0; i < g.Size(); i++ {
+		if got, want := g.Member(i).ScanSpeed(id1), g.ScanSpeed(id1); got != want {
+			t.Fatalf("member %d speed %v != group speed %v", i, got, want)
+		}
+	}
+	g.UnregisterScan(id1)
+	g.UnregisterScan(id2)
+	for i := 0; i < g.Size(); i++ {
+		if n := len(g.Member(i).scans); n != 0 {
+			t.Fatalf("member %d still tracks %d scans after unregister", i, n)
+		}
+	}
+}
+
+// Each member's victim selection only ever sees the frames admitted to
+// it — the pool wires member i as shard i's policy, so a member must
+// never surface another shard's frame.
+func TestGroupMembersVictimizeOwnFramesOnly(t *testing.T) {
+	g := NewGroup(&fakeClock{}, testCfg(), 2)
+	pages := groupPages(6)
+	g.RegisterScan([][]*storage.Page{pages})
+	frames := make(map[*buffer.Frame]int)
+	for i, pg := range pages {
+		member := i % 2
+		f := &buffer.Frame{Page: pg}
+		g.Member(member).Admitted(f)
+		frames[f] = member
+	}
+	for member := 0; member < 2; member++ {
+		for {
+			v := g.Member(member).Victim()
+			if v == nil {
+				break
+			}
+			if owner, ok := frames[v]; !ok || owner != member {
+				t.Fatalf("member %d offered frame of member %d", member, owner)
+			}
+			g.Member(member).Removed(v)
+			delete(frames, v)
+		}
+	}
+	if len(frames) != 0 {
+		t.Fatalf("%d frames never offered as victims", len(frames))
+	}
+}

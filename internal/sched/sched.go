@@ -15,6 +15,7 @@
 package sched
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -177,23 +178,34 @@ type LatencyDist struct {
 }
 
 // Percentile returns the nearest-rank p-th percentile (0 < p <= 100) of
-// ds, which it sorts in place. Zero-length input yields zero.
+// ds, which it sorts in place. Zero-length input yields zero; a p
+// outside (0, 100] panics.
 func Percentile(ds []sim.Duration, p float64) sim.Duration {
+	if p <= 0 || p > 100 {
+		panic(fmt.Sprintf("sched: percentile %v outside (0, 100]", p))
+	}
 	if len(ds) == 0 {
 		return 0
 	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
-	idx := int(math.Ceil(p/100*float64(len(ds)))) - 1
+	return nearestRank(ds, p)
+}
+
+// nearestRank indexes the p-th nearest-rank percentile of an
+// already-sorted slice.
+func nearestRank(sorted []sim.Duration, p float64) sim.Duration {
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(ds) {
-		idx = len(ds) - 1
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
 	}
-	return ds[idx]
+	return sorted[idx]
 }
 
-// distOf summarizes ds (sorting it in place).
+// distOf summarizes ds, sorting it in place once and indexing each
+// percentile off the sorted slice.
 func distOf(ds []sim.Duration) LatencyDist {
 	var d LatencyDist
 	if len(ds) == 0 {
@@ -204,9 +216,10 @@ func distOf(ds []sim.Duration) LatencyDist {
 		sum += v
 	}
 	d.Mean = sum / sim.Duration(len(ds))
-	d.P50 = Percentile(ds, 50)
-	d.P95 = Percentile(ds, 95)
-	d.P99 = Percentile(ds, 99)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	d.P50 = nearestRank(ds, 50)
+	d.P95 = nearestRank(ds, 95)
+	d.P99 = nearestRank(ds, 99)
 	d.Max = ds[len(ds)-1]
 	return d
 }

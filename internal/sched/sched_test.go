@@ -185,6 +185,34 @@ func TestPercentileNearestRank(t *testing.T) {
 	}
 }
 
+func TestPercentileValidatesP(t *testing.T) {
+	for _, p := range []float64{0, -1, 100.5, 200} {
+		p := p
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(_, %g) did not panic", p)
+				}
+			}()
+			Percentile([]sim.Duration{1, 2, 3}, p)
+		}()
+	}
+}
+
+// distOf must agree with the exported Percentile contract while sorting
+// only once.
+func TestDistOfMatchesPercentile(t *testing.T) {
+	ds := []sim.Duration{90, 10, 50, 70, 30, 20, 80, 40, 60, 100}
+	ref := append([]sim.Duration(nil), ds...)
+	d := distOf(ds)
+	if d.P50 != Percentile(ref, 50) || d.P95 != Percentile(ref, 95) || d.P99 != Percentile(ref, 99) {
+		t.Fatalf("distOf %+v disagrees with Percentile", d)
+	}
+	if d.Max != 100 || d.Mean != 55 {
+		t.Fatalf("max/mean = %v/%v", d.Max, d.Mean)
+	}
+}
+
 func TestSchedulerDeterministic(t *testing.T) {
 	run := func() Stats {
 		eng := sim.NewEngine()

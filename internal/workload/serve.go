@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/buffer"
 	"repro/internal/exec"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -32,13 +33,15 @@ type ServeConfig struct {
 }
 
 // DefaultServeConfig returns serving defaults: 64 streams of 4 queries
-// each arriving at 8 qps/stream, MPL 8, a 64-deep admission queue, and
-// a 250 ms latency SLO, over the §4.1 microbenchmark query mix.
+// each arriving at 8 qps/stream, MPL 8, a 64-deep admission queue, a
+// 250 ms latency SLO, and a buffer pool of buffer.DefaultShards shards,
+// over the §4.1 microbenchmark query mix.
 func DefaultServeConfig() ServeConfig {
 	cfg := DefaultMicroConfig()
 	cfg.Streams = 64
 	cfg.QueriesPerStream = 4
 	cfg.ThreadsPerQuery = 1
+	cfg.PoolShards = buffer.DefaultShards
 	return ServeConfig{
 		Config:      cfg,
 		ArrivalRate: 8,
@@ -72,6 +75,9 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 	}
 	if cfg.SLO == 0 {
 		cfg.SLO = 250 * time.Millisecond
+	}
+	if cfg.PoolShards == 0 {
+		cfg.PoolShards = buffer.DefaultShards
 	}
 	accessed := MicroAccessedBytes(db)
 	e := newEnv(cfg.Config, accessed)

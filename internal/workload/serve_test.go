@@ -49,6 +49,33 @@ func TestRunServeAllPolicies(t *testing.T) {
 	}
 }
 
+// The sharded pool must stay deterministic, and the shard axis must be
+// honored end to end: both shard counts serve the full workload with
+// aggregated (summed-over-shards) pool counters.
+func TestServeShardedPoolDeterministicAndAccounted(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		run := func() *ServeResult {
+			cfg := tinyServeConfig()
+			cfg.Policy = PBM
+			cfg.PoolShards = shards
+			return RunServe(tinyDB, cfg)
+		}
+		a, b := run(), run()
+		if a.Sched != b.Sched || a.TotalIOBytes != b.TotalIOBytes {
+			t.Fatalf("shards=%d nondeterministic: %+v/%d vs %+v/%d",
+				shards, a.Sched, a.TotalIOBytes, b.Sched, b.TotalIOBytes)
+		}
+		if a.PoolStats.Hits+a.PoolStats.Misses == 0 {
+			t.Fatalf("shards=%d: empty aggregated pool stats", shards)
+		}
+		if a.PoolStats.BytesLoaded != a.TotalIOBytes {
+			t.Fatalf("shards=%d: pool bytes %d != total I/O %d",
+				shards, a.PoolStats.BytesLoaded, a.TotalIOBytes)
+		}
+	}
+}
+
 func TestServeOverloadShowsQueueing(t *testing.T) {
 	light := tinyServeConfig()
 	light.Policy = LRU

@@ -85,6 +85,10 @@ type Config struct {
 	SharingSampler sim.Duration
 	// Throttle enables the §5 PBM attach&throttle extension.
 	Throttle bool
+	// PoolShards is the buffer-pool shard count; 0 (and 1) mean the
+	// single-pool baseline the paper's figures are reproduced with. The
+	// serving driver defaults to buffer.DefaultShards instead.
+	PoolShards int
 }
 
 // DefaultMicroConfig returns §4.1's defaults: 8 streams, 16-query
@@ -154,7 +158,7 @@ type env struct {
 	eng    *sim.Engine
 	disk   *iosim.Disk
 	pool   *buffer.Pool
-	pbm    *pbm.PBM
+	pbm    *pbm.Group
 	abm    *abm.ABM
 	ctx    *exec.Ctx
 	rec    *trace.Recorder
@@ -188,14 +192,14 @@ func newEnv(cfg Config, accessedBytes int64) *env {
 		})
 		e.ctx.ABM = e.abm
 	default:
-		var pol buffer.Policy
+		shards := cfg.PoolShards
+		if shards <= 0 {
+			shards = 1
+		}
+		var factory func(int) buffer.Policy
 		switch cfg.Policy {
-		case LRU:
-			pol = buffer.NewLRU()
-		case MRU:
-			pol = buffer.NewMRU()
-		case Clock:
-			pol = buffer.NewClock()
+		case LRU, MRU, Clock:
+			factory = buffer.FactoryOf(cfg.Policy.String())
 		case PBM, PBMLRU:
 			pc := pbm.DefaultConfig()
 			// The bucket timeline must resolve the simulation's
@@ -206,18 +210,22 @@ func newEnv(cfg Config, accessedBytes int64) *env {
 			pc.NumGroups = 12
 			pc.DefaultSpeed = 1e8
 			pc.LRUMode = cfg.Policy == PBMLRU
-			p := pbm.New(e.eng, pc)
+			g := pbm.NewGroup(e.eng, pc, shards)
 			if cfg.Throttle {
 				tc := pbm.DefaultThrottleConfig()
 				tc.Enabled = true
-				p.SetThrottle(tc)
+				g.SetThrottle(tc)
 			}
-			e.pbm = p
-			pol = p
+			e.pbm = g
+			factory = g.PolicyFactory()
 		}
-		e.pool = buffer.NewPool(e.eng, e.disk, pol, capBytes)
+		e.pool = buffer.NewShardedPool(e.eng, e.disk, factory, capBytes, shards)
 		e.ctx.Pool = e.pool
-		e.ctx.PBM = e.pbm
+		if e.pbm != nil {
+			// Assign only when non-nil: Ctx.PBM is an interface, and a
+			// typed-nil *Group would defeat the scans' nil check.
+			e.ctx.PBM = e.pbm
+		}
 	}
 	if cfg.TraceForOPT && e.pool != nil {
 		e.rec = trace.NewRecorder()

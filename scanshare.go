@@ -117,7 +117,14 @@ type SystemConfig struct {
 	PerTupleCPU time.Duration
 	// ChunkTuples is the Cooperative Scans chunk size (default 8192).
 	ChunkTuples int64
+	// PoolShards is the buffer-pool shard count (default 8; ignored
+	// under CScan, whose ABM replaces the pool). A 1-shard pool is
+	// bit-identical to the historical unsharded buffer manager.
+	PoolShards int
 }
+
+// DefaultPoolShards is the default shard count of a System's buffer pool.
+const DefaultPoolShards = buffer.DefaultShards
 
 // System is a fully wired simulated instance: virtual clock, disk, buffer
 // manager (traditional or ABM), and an execution context. Create scans
@@ -126,7 +133,7 @@ type System struct {
 	Eng     *sim.Engine
 	Disk    *iosim.Disk
 	Pool    *buffer.Pool // nil under CScan
-	PBM     *pbm.PBM     // non-nil under PBM/PBMLRU
+	PBM     *pbm.Group   // non-nil under PBM/PBMLRU: one instance per pool shard
 	ABM     *abm.ABM     // non-nil under CScan
 	Ctx     *exec.Ctx
 	Catalog *Catalog
@@ -145,6 +152,9 @@ func NewSystem(cfg SystemConfig) *System {
 	}
 	if cfg.ChunkTuples <= 0 {
 		cfg.ChunkTuples = abm.DefaultChunkTuples
+	}
+	if cfg.PoolShards <= 0 {
+		cfg.PoolShards = DefaultPoolShards
 	}
 	s := &System{Eng: sim.NewEngine(), Catalog: storage.NewCatalog()}
 	s.Disk = iosim.New(s.Eng, iosim.Config{
@@ -165,24 +175,28 @@ func NewSystem(cfg SystemConfig) *System {
 		})
 		s.Ctx.ABM = s.ABM
 	default:
-		var pol buffer.Policy
+		var factory func(int) buffer.Policy
 		switch cfg.Policy {
 		case MRU:
-			pol = buffer.NewMRU()
+			factory = buffer.FactoryOf("MRU")
 		case Clock:
-			pol = buffer.NewClock()
+			factory = buffer.FactoryOf("Clock")
 		case PBM, PBMLRU:
 			pc := pbm.DefaultConfig()
 			pc.LRUMode = cfg.Policy == PBMLRU
-			p := pbm.New(s.Eng, pc)
-			s.PBM = p
-			pol = p
+			g := pbm.NewGroup(s.Eng, pc, cfg.PoolShards)
+			s.PBM = g
+			factory = g.PolicyFactory()
 		default:
-			pol = buffer.NewLRU()
+			factory = buffer.FactoryOf("LRU")
 		}
-		s.Pool = buffer.NewPool(s.Eng, s.Disk, pol, cfg.BufferBytes)
+		s.Pool = buffer.NewShardedPool(s.Eng, s.Disk, factory, cfg.BufferBytes, cfg.PoolShards)
 		s.Ctx.Pool = s.Pool
-		s.Ctx.PBM = s.PBM
+		if s.PBM != nil {
+			// Guarded: Ctx.PBM is an interface and a typed-nil *Group
+			// would defeat the scans' nil check.
+			s.Ctx.PBM = s.PBM
+		}
 	}
 	return s
 }

@@ -57,6 +57,10 @@ type ServeOptions struct {
 	// Policies is the buffer-management axis (default LRU, Clock, PBM,
 	// CScan).
 	Policies []Policy
+	// Shards is the buffer-pool shard-count axis (default {1, 8}), so a
+	// sweep measures the sharding effect instead of asserting it. CScan
+	// rows ignore it (the ABM replaces the pool) and run once.
+	Shards []int
 	// QueueDepth bounds the admission queue (0 => default 64).
 	QueueDepth int
 	// SLO is the latency objective (0 => 250 ms).
@@ -70,6 +74,7 @@ func DefaultServeOptions() ServeOptions {
 		Rates:    []float64{1, 5, 20},
 		MPLs:     []int{8, 32},
 		Policies: []Policy{LRU, Clock, PBM, CScan},
+		Shards:   []int{1, DefaultPoolShards},
 		SLO:      250 * time.Millisecond,
 	}
 }
@@ -86,6 +91,18 @@ func (o ServeOptions) fill() ServeOptions {
 	if len(o.Policies) == 0 {
 		o.Policies = d.Policies
 	}
+	// Drop non-positive shard counts: 0 is the CScan-only row marker in
+	// the output and must not label a defaulted sharded run.
+	shards := o.Shards[:0:0]
+	for _, s := range o.Shards {
+		if s > 0 {
+			shards = append(shards, s)
+		}
+	}
+	o.Shards = shards
+	if len(o.Shards) == 0 {
+		o.Shards = d.Shards
+	}
 	if o.SLO == 0 {
 		o.SLO = d.SLO
 	}
@@ -98,6 +115,7 @@ type ServeRow struct {
 	Rate       float64 // per-stream arrival rate (queries/s)
 	MPL        int
 	Policy     string
+	Shards     int // buffer-pool shard count (0 for CScan rows: no pool)
 	Completed  int64
 	Rejected   int64
 	Throughput float64 // completed queries per virtual second
@@ -109,8 +127,9 @@ type ServeRow struct {
 	IOMB       float64
 }
 
-// ServeSweep runs the arrival-rate x MPL x policy cross product and
-// returns one row per cell.
+// ServeSweep runs the arrival-rate x MPL x policy x shard-count cross
+// product and returns one row per cell, shards=1 and sharded rows
+// adjacent so the sharding effect reads off one table.
 func ServeSweep(o ServeOptions) []ServeRow {
 	o = o.fill()
 	db := GenerateTPCH(o.SF, o.Seed)
@@ -118,28 +137,39 @@ func ServeSweep(o ServeOptions) []ServeRow {
 	for _, rate := range o.Rates {
 		for _, mpl := range o.MPLs {
 			for _, pol := range o.Policies {
-				cfg := DefaultServeConfig()
-				cfg.Config = o.apply(cfg.Config)
-				cfg.Policy = pol
-				cfg.ArrivalRate = rate
-				cfg.MPL = mpl
-				cfg.QueueDepth = o.QueueDepth
-				cfg.SLO = o.SLO
-				res := workload.RunServe(db, cfg)
-				out = append(out, ServeRow{
-					Rate:       rate,
-					MPL:        mpl,
-					Policy:     pol.String(),
-					Completed:  res.Sched.Completed,
-					Rejected:   res.Sched.Rejected,
-					Throughput: res.Sched.Throughput,
-					P50ms:      ms(res.Sched.Latency.P50),
-					P95ms:      ms(res.Sched.Latency.P95),
-					P99ms:      ms(res.Sched.Latency.P99),
-					QWaitP95ms: ms(res.Sched.QueueWait.P95),
-					SLOPct:     res.Sched.SLOAttainment * 100,
-					IOMB:       mb(res.TotalIOBytes),
-				})
+				shardAxis := o.Shards
+				if pol == CScan {
+					// The ABM replaces the page pool; one row suffices.
+					shardAxis = []int{0}
+				}
+				for _, shards := range shardAxis {
+					cfg := DefaultServeConfig()
+					cfg.Config = o.apply(cfg.Config)
+					cfg.Policy = pol
+					cfg.ArrivalRate = rate
+					cfg.MPL = mpl
+					cfg.QueueDepth = o.QueueDepth
+					cfg.SLO = o.SLO
+					if shards > 0 {
+						cfg.PoolShards = shards
+					}
+					res := workload.RunServe(db, cfg)
+					out = append(out, ServeRow{
+						Rate:       rate,
+						MPL:        mpl,
+						Policy:     pol.String(),
+						Shards:     shards,
+						Completed:  res.Sched.Completed,
+						Rejected:   res.Sched.Rejected,
+						Throughput: res.Sched.Throughput,
+						P50ms:      ms(res.Sched.Latency.P50),
+						P95ms:      ms(res.Sched.Latency.P95),
+						P99ms:      ms(res.Sched.Latency.P99),
+						QWaitP95ms: ms(res.Sched.QueueWait.P95),
+						SLOPct:     res.Sched.SLOAttainment * 100,
+						IOMB:       mb(res.TotalIOBytes),
+					})
+				}
 			}
 		}
 	}
