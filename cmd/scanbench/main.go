@@ -7,7 +7,8 @@
 // Usage:
 //
 //	scanbench [flags] fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|all
-//	scanbench -serve [flags]
+//	scanbench [-real] -serve [flags]
+//	scanbench [-real] -compare [flags]
 //
 // Output is an aligned text table per figure; pass -tsv for
 // tab-separated output suitable for plotting.
@@ -17,6 +18,17 @@
 // streams, a bounded admission queue with a concurrency limit (MPL) —
 // and sweeps arrival rate x MPL x policy, reporting throughput, latency
 // percentiles (p50/p95/p99, queue-wait split), and SLO attainment.
+//
+// The -compare mode runs one serving configuration twice — open loop and
+// closed loop — over the identical query mix and prints the latency gap:
+// the queueing delay that closed-loop benchmarks omit (coordinated
+// omission).
+//
+// -real switches -serve and -compare from the deterministic simulator to
+// the real-threaded runtime: streams are goroutines, latencies are wall
+// -clock, and XChg subplans fan out on a worker pool sized by -cores.
+// Figure targets always run on the simulator (reproducibility is the
+// point of the figures), so -real rejects them.
 package main
 
 import (
@@ -43,15 +55,19 @@ func main() {
 		cpu     = flag.Duration("cpu", 0, "override per-tuple CPU cost")
 		tsv     = flag.Bool("tsv", false, "emit tab-separated values")
 
-		serve  = flag.Bool("serve", false, "run the open-loop serving sweep (arrival rate x MPL x policy x pool shards)")
-		rates  = flag.String("rates", "", "serve: comma-separated per-stream arrival rates in queries/s (default 1,5,20)")
-		mpls   = flag.String("mpls", "", "serve: comma-separated MPL concurrency limits (default 8,32)")
-		shards = flag.String("shards", "", "buffer-pool shard counts: a comma-separated axis for -serve (default 1,8); the first value overrides the figure experiments' single pool")
-		queue  = flag.Int("queue", 0, "serve: admission queue depth (0 = default 64, negative = unbounded)")
-		slo    = flag.Duration("slo", 0, "serve: end-to-end latency SLO (default 250ms)")
+		serve   = flag.Bool("serve", false, "run the open-loop serving sweep (arrival rate x MPL x policy x pool shards)")
+		compare = flag.Bool("compare", false, "run the closed-vs-open-loop comparison at one serving configuration")
+		real    = flag.Bool("real", false, "run -serve/-compare on the real-threaded runtime (goroutines, wall-clock time) instead of the simulator")
+		rates   = flag.String("rates", "", "serve: comma-separated per-stream arrival rates in queries/s (default 1,5,20); -compare uses the first")
+		mpls    = flag.String("mpls", "", "serve: comma-separated MPL concurrency limits (default 8,32); -compare uses the first")
+		shards  = flag.String("shards", "", "buffer-pool shard counts: a comma-separated axis for -serve (default 1,8); the first value overrides the figure experiments' single pool")
+		queue   = flag.Int("queue", 0, "serve/compare: admission queue depth (0 = default 64, negative = unbounded)")
+		slo     = flag.Duration("slo", 0, "serve/compare: end-to-end latency SLO (default 250ms)")
 	)
 	flag.Parse()
-	shardAxis := parseInts(*shards, "shard count")
+	rateAxis := parseAxis("rates", *rates, parseFloat64)
+	mplAxis := parseAxis("mpls", *mpls, strconv.Atoi)
+	shardAxis := parseAxis("shards", *shards, strconv.Atoi)
 	opts := scanshare.Options{
 		SF: *sf, Seed: *seed, Streams: *streams, QueriesPerStream: *queries,
 		ThreadsPerQuery: *threads, Cores: *cores, PerTupleCPU: *cpu,
@@ -59,28 +75,64 @@ func main() {
 	if len(shardAxis) > 0 {
 		opts.PoolShards = shardAxis[0]
 	}
-	if *serve {
+	if *serve && *compare {
+		fmt.Fprintln(os.Stderr, "scanbench: -serve and -compare are mutually exclusive")
+		os.Exit(2)
+	}
+	if *serve || *compare {
 		if flag.NArg() > 0 {
-			fmt.Fprintf(os.Stderr, "-serve takes no targets (got %q)\n", flag.Args())
+			fmt.Fprintf(os.Stderr, "scanbench: -serve/-compare take no targets (got %q)\n", flag.Args())
 			os.Exit(2)
 		}
+	}
+	if *compare {
+		co := scanshare.DefaultCompareOptions()
+		co.Options = opts
+		co.Options.PoolShards = 0
+		co.Real = *real
+		if len(rateAxis) > 0 {
+			co.Rate = rateAxis[0]
+		}
+		if len(mplAxis) > 0 {
+			co.MPL = mplAxis[0]
+		}
+		if len(shardAxis) > 0 {
+			co.Shards = shardAxis[0]
+		}
+		co.QueueDepth = *queue
+		co.SLO = *slo
+		start := time.Now()
+		printCompare(scanshare.Compare(co), *real, *tsv)
+		fmt.Printf("# compare done in %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *serve {
 		so := scanshare.ServeOptions{
 			Options:    opts,
-			Rates:      parseFloats(*rates),
-			MPLs:       parseInts(*mpls, "MPL"),
+			Rates:      rateAxis,
+			MPLs:       mplAxis,
 			Shards:     shardAxis,
 			QueueDepth: *queue,
 			SLO:        *slo,
+			Real:       *real,
 		}
 		// The per-run override must not fight the sweep's own shard axis.
 		so.Options.PoolShards = 0
 		start := time.Now()
-		printServe(scanshare.ServeSweep(so), *tsv)
+		printServe(scanshare.ServeSweep(so), *real, *tsv)
 		fmt.Printf("# serve done in %v\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
+	if *real {
+		fmt.Fprintln(os.Stderr, "scanbench: -real applies only to -serve/-compare; the figure targets are defined by the deterministic simulation")
+		os.Exit(2)
+	}
+	if len(rateAxis) > 0 || len(mplAxis) > 0 {
+		fmt.Fprintln(os.Stderr, "scanbench: -rates/-mpls apply only to -serve/-compare")
+		os.Exit(2)
+	}
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: scanbench [flags] fig11..fig18|all  or  scanbench -serve [flags]")
+		fmt.Fprintln(os.Stderr, "usage: scanbench [flags] fig11..fig18|all  or  scanbench [-real] -serve|-compare [flags]")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -221,8 +273,8 @@ func printAblation(rows []scanshare.AblationRow, tsv bool) {
 // attainment; shard counts of the same cell print adjacent so the
 // sharding effect reads off directly. CScan rows print "-" for shards
 // (the ABM replaces the page pool).
-func printServe(rows []scanshare.ServeRow, tsv bool) {
-	fmt.Println("== Serving sweep: open-loop arrivals, admission control, sharded pool (latencies in virtual ms) ==")
+func printServe(rows []scanshare.ServeRow, real, tsv bool) {
+	fmt.Printf("== Serving sweep: open-loop arrivals, admission control, sharded pool (latencies in %s ms) ==\n", clockName(real))
 	shardCol := func(r scanshare.ServeRow) string {
 		if r.Shards <= 0 {
 			return "-"
@@ -248,16 +300,67 @@ func printServe(rows []scanshare.ServeRow, tsv bool) {
 	w.Flush()
 }
 
-// parseFloats parses a comma-separated float list; empty input yields nil.
-func parseFloats(s string) []float64 {
+func clockName(real bool) string {
+	if real {
+		return "wall-clock"
+	}
+	return "virtual"
+}
+
+// printCompare renders the closed-vs-open-loop comparison: the same
+// latency table for both disciplines plus the per-percentile gap — the
+// queueing delay a closed-loop benchmark's latency report omits.
+func printCompare(rep scanshare.CompareReport, real, tsv bool) {
+	fmt.Printf("== Closed vs open loop: same query mix, same engine, two arrival disciplines (latencies in %s ms) ==\n", clockName(real))
+	if tsv {
+		fmt.Printf("loop\trate_qps\tmpl\tpolicy\tpool_shards\tcompleted\trejected\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\tio_mb\n")
+		for _, e := range []struct {
+			name string
+			r    scanshare.ServeRow
+		}{{"open", rep.Open}, {"closed", rep.Closed}} {
+			fmt.Printf("%s\t%g\t%d\t%s\t%d\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%.1f\n",
+				e.name, e.r.Rate, e.r.MPL, e.r.Policy, e.r.Shards, e.r.Completed, e.r.Rejected,
+				e.r.Throughput, e.r.P50ms, e.r.P95ms, e.r.P99ms, e.r.QWaitP95ms, e.r.SLOPct, e.r.IOMB)
+		}
+		fmt.Printf("gap\t%g\t%d\t%s\t%d\t-\t-\t-\t%.3f\t%.3f\t%.3f\t-\t-\t-\n",
+			rep.Open.Rate, rep.Open.MPL, rep.Open.Policy, rep.Open.Shards,
+			rep.GapP50ms, rep.GapP95ms, rep.GapP99ms)
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "loop\tdone\trej\tthru (q/s)\tp50\tp95\tp99\tqwait p95\tSLO %\tI/O MB")
+	for _, e := range []struct {
+		name string
+		r    scanshare.ServeRow
+	}{{"open", rep.Open}, {"closed", rep.Closed}} {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%.1f\n",
+			e.name, e.r.Completed, e.r.Rejected, e.r.Throughput,
+			e.r.P50ms, e.r.P95ms, e.r.P99ms, e.r.QWaitP95ms, e.r.SLOPct, e.r.IOMB)
+	}
+	fmt.Fprintf(w, "gap\t\t\t\t%.2f\t%.2f\t%.2f\t\t\t\n", rep.GapP50ms, rep.GapP95ms, rep.GapP99ms)
+	w.Flush()
+	fmt.Println("# gap = open - closed latency: the queueing delay closed-loop measurement omits (coordinated omission)")
+}
+
+// parseAxis parses the comma-separated value of axis flag -name into
+// positive values. Malformed or non-positive entries exit with an error
+// naming the flag and the offending element; empty input yields nil.
+// -rates, -mpls and -shards all go through here, so every axis flag
+// reports mistakes the same way instead of each hand-rolling its own
+// (historically inconsistent) validation.
+func parseAxis[T int | float64](name, s string, parse func(string) (T, error)) []T {
 	if s == "" {
 		return nil
 	}
-	var out []float64
+	var out []T
 	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil || v <= 0 {
-			fmt.Fprintf(os.Stderr, "bad rate %q: must be a positive number\n", f)
+		v, err := parse(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scanbench: -%s: bad element %q: not a number\n", name, f)
+			os.Exit(2)
+		}
+		if v <= 0 {
+			fmt.Fprintf(os.Stderr, "scanbench: -%s: bad element %q: must be positive\n", name, f)
 			os.Exit(2)
 		}
 		out = append(out, v)
@@ -265,23 +368,9 @@ func parseFloats(s string) []float64 {
 	return out
 }
 
-// parseInts parses a comma-separated list of positive integers (label
-// names the flag in errors); empty input yields nil.
-func parseInts(s, label string) []int {
-	if s == "" {
-		return nil
-	}
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || v <= 0 {
-			fmt.Fprintf(os.Stderr, "bad %s %q: must be a positive integer\n", label, f)
-			os.Exit(2)
-		}
-		out = append(out, v)
-	}
-	return out
-}
+// parseFloat64 adapts strconv.ParseFloat to parseAxis's single-argument
+// shape.
+func parseFloat64(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
 
 // bar renders a tiny stacked area impression: one char per ~sixteenth of
 // the max volume, '.'=1 scan, '+'=2-3 scans, '#'=4+.

@@ -28,9 +28,10 @@ package abm
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/iosim"
-	"repro/internal/sim"
+	"repro/internal/rt"
 	"repro/internal/storage"
 )
 
@@ -102,18 +103,26 @@ type tableMeta struct {
 }
 
 // ABM is the Active Buffer Manager. All methods must be called from
-// simulated processes.
+// processes of the runtime it was created on. The scheduler loop runs as
+// its own process: a cooperative simulated process on the sim runtime, a
+// real background goroutine on the real runtime — in the latter case the
+// instance mutex serializes it against the CScan consumers, and is
+// released across disk transfers so consumers keep draining cached
+// chunks while a load is in flight.
 type ABM struct {
-	eng  *sim.Engine
+	r    rt.Runtime
 	disk *iosim.Disk
 	cfg  Config
 
+	// mu guards all chunk/table/residency state below. Uncontended in sim
+	// mode (single running process).
+	mu       sync.Mutex
 	tables   map[tableKey]*tableMeta
 	tabOrder []*tableMeta
 	resident map[storage.PageID]*residentPage
 	used     int64
 
-	work    *sim.Event
+	work    rt.Event
 	stopped bool
 	stats   Stats
 	// pinnedDeliveries counts outstanding (un-Released) deliveries; used
@@ -124,8 +133,8 @@ type ABM struct {
 	OnLoad func(p *storage.Page)
 }
 
-// New creates an ABM and starts its scheduler process on the engine.
-func New(eng *sim.Engine, disk *iosim.Disk, cfg Config) *ABM {
+// New creates an ABM and starts its scheduler process on the runtime.
+func New(r rt.Runtime, disk *iosim.Disk, cfg Config) *ABM {
 	if cfg.ChunkTuples <= 0 {
 		cfg.ChunkTuples = DefaultChunkTuples
 	}
@@ -136,26 +145,36 @@ func New(eng *sim.Engine, disk *iosim.Disk, cfg Config) *ABM {
 		cfg.SharedBonus = 0.5
 	}
 	a := &ABM{
-		eng:      eng,
+		r:        r,
 		disk:     disk,
 		cfg:      cfg,
 		tables:   make(map[tableKey]*tableMeta),
 		resident: make(map[storage.PageID]*residentPage),
 	}
-	a.work = eng.NewEvent()
-	eng.Go("abm-scheduler", a.run)
+	a.work = r.NewEvent()
+	r.Go("abm-scheduler", a.run)
 	return a
 }
 
 // Stats returns a snapshot of the counters.
-func (a *ABM) Stats() Stats { return a.stats }
+func (a *ABM) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
 
 // Used returns the resident byte volume.
-func (a *ABM) Used() int64 { return a.used }
+func (a *ABM) Used() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
 
 // Stop shuts the scheduler down once all CScans are unregistered.
 func (a *ABM) Stop() {
+	a.mu.Lock()
 	a.stopped = true
+	a.mu.Unlock()
 	a.work.Fire()
 }
 
@@ -172,7 +191,7 @@ type CScan struct {
 	inOrder   bool
 	nextIdx   int // next chunk index (in-order mode)
 
-	avail *sim.Event // fired when a chunk of interest becomes cached
+	avail rt.Event // fired when a chunk of interest becomes cached
 }
 
 // SIDRange is a half-open range of stable tuple positions.
@@ -183,6 +202,8 @@ type SIDRange struct{ Lo, Hi int64 }
 // chunk delivery (§2.3), making the CScan a drop-in Scan replacement at
 // chunk granularity.
 func (a *ABM) RegisterCScan(snap *storage.Snapshot, cols []int, ranges []SIDRange, inOrder bool) *CScan {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	tm := a.tableMetaFor(snap)
 	cs := &CScan{
 		abm:     a,
@@ -190,7 +211,7 @@ func (a *ABM) RegisterCScan(snap *storage.Snapshot, cols []int, ranges []SIDRang
 		snap:    snap,
 		cols:    cols,
 		inOrder: inOrder,
-		avail:   a.eng.NewEvent(),
+		avail:   a.r.NewEvent(),
 		need:    make([]bool, len(tm.chunks)),
 	}
 	cs.sorted = append(cs.sorted, cols...)
@@ -299,8 +320,11 @@ type Delivery struct {
 // paper's GetChunk. It returns ok=false when every registered range has
 // been delivered.
 func (cs *CScan) GetChunk() (*Delivery, bool) {
+	a := cs.abm
+	a.mu.Lock()
 	for {
 		if cs.remaining == 0 {
+			a.mu.Unlock()
 			return nil, false
 		}
 		var pick *chunk
@@ -331,10 +355,17 @@ func (cs *CScan) GetChunk() (*Delivery, bool) {
 			}
 		}
 		if pick != nil {
-			return cs.deliver(pick), true
+			d := cs.deliver(pick)
+			a.mu.Unlock()
+			return d, true
 		}
 		cs.abm.work.Fire() // we are starved: let the scheduler know
-		cs.avail.Wait()
+		// Register interest before dropping the mutex: a load completing
+		// between the unlock and the block would otherwise be lost.
+		w := cs.avail.Waiter()
+		a.mu.Unlock()
+		w.Wait()
+		a.mu.Lock()
 	}
 }
 
@@ -371,21 +402,27 @@ func (cs *CScan) advanceNext() {
 // Release unpins the delivery's pages and wakes the scheduler (consumed
 // chunks may now be evictable).
 func (d *Delivery) Release() {
+	a := d.cs.abm
+	a.mu.Lock()
 	for _, rp := range d.pages {
 		if rp.pins <= 0 {
+			a.mu.Unlock()
 			panic("abm: release without pin")
 		}
 		rp.pins--
 	}
 	d.pages = nil
-	d.cs.abm.pinnedDeliveries--
-	d.cs.abm.work.Fire()
+	a.pinnedDeliveries--
+	a.mu.Unlock()
+	a.work.Fire()
 }
 
 // UnregisterCScan removes the scan; the paper's UnregisterCScan. Shared
 // marking is recomputed and table metadata of abandoned versions is
 // destroyed.
 func (cs *CScan) Unregister() {
+	cs.abm.mu.Lock()
+	defer cs.abm.mu.Unlock()
 	tm := cs.tm
 	for i, needed := range cs.need {
 		if needed {
@@ -426,25 +463,29 @@ func (a *ABM) chunkCachedFor(cs *CScan, c *chunk) bool {
 	return true
 }
 
-// run is the ABM scheduler loop (the separate thread of §2).
+// run is the ABM scheduler loop (the separate thread of §2). It holds
+// the instance mutex while deciding, and releases it while blocked on
+// work (see waitWork) or transferring from disk (see loadChunk).
 func (a *ABM) run() {
+	a.mu.Lock()
 	for {
 		if a.stopped {
+			a.mu.Unlock()
 			return
 		}
 		cs := a.chooseQuery()
 		if cs == nil {
-			a.work.Wait()
+			a.waitWork()
 			continue
 		}
 		c := a.chooseChunk(cs)
 		if c == nil {
-			a.work.Wait()
+			a.waitWork()
 			continue
 		}
 		if !a.loadChunk(cs, c) {
 			a.stats.BlockedLoads++
-			a.work.Wait()
+			a.waitWork()
 			continue
 		}
 		// Hand the freshly loaded chunk to its consumers before the next
@@ -453,8 +494,20 @@ func (a *ABM) run() {
 		// (and its force-evict liveness fallback) respects. Without this
 		// yield an overloaded ABM can evict every chunk it loads before
 		// any consumer sees it, starving all scans while I/O churns.
-		a.eng.Yield()
+		a.mu.Unlock()
+		a.r.Yield()
+		a.mu.Lock()
 	}
+}
+
+// waitWork blocks the scheduler until the next work signal. Interest is
+// registered before the mutex is dropped so a Fire in the gap is never
+// lost. Caller holds a.mu; it is held again on return.
+func (a *ABM) waitWork() {
+	w := a.work.Waiter()
+	a.mu.Unlock()
+	w.Wait()
+	a.mu.Lock()
 }
 
 // chooseQuery implements QueryRelevance: prefer starved queries, then
@@ -587,7 +640,10 @@ func (a *ABM) loadChunk(cs *CScan, c *chunk) bool {
 		}
 	}
 	c.loading = true
-	// Read block-contiguous stretches in single requests.
+	// Read block-contiguous stretches in single requests. The mutex is
+	// released for the transfer: consumers keep draining cached chunks
+	// (and the eviction guard skips the loading chunk) meanwhile.
+	a.mu.Unlock()
 	start := 0
 	for i := 1; i <= len(pages); i++ {
 		if i == len(pages) || pages[i].Block != pages[i-1].Block+1 {
@@ -599,6 +655,7 @@ func (a *ABM) loadChunk(cs *CScan, c *chunk) bool {
 			start = i
 		}
 	}
+	a.mu.Lock()
 	// The loaded pages may complete residency for neighbouring chunks too
 	// (narrow-column pages span chunks), so the wake set covers every
 	// chunk the pages overlap.
@@ -766,6 +823,8 @@ func (a *ABM) interestedHeir(pg *storage.Page, c *chunk) *chunk {
 // SharedChunkCount reports how many chunks of the snapshot's table
 // version are currently marked shared (for tests).
 func (a *ABM) SharedChunkCount(snap *storage.Snapshot) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	tm, ok := a.tables[tableKey{table: snap.Table(), version: snap.Version()}]
 	if !ok {
 		return 0

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/iosim"
+	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -40,8 +41,8 @@ func fixture(t testing.TB, nTuples int) (*storage.Catalog, *storage.Snapshot) {
 }
 
 func newABM(eng *sim.Engine, capBytes int64) *ABM {
-	disk := iosim.New(eng, iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
-	return New(eng, disk, Config{ChunkTuples: 4096, Capacity: capBytes})
+	disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
+	return New(rt.Sim(eng), disk, Config{ChunkTuples: 4096, Capacity: capBytes})
 }
 
 func TestSingleCScanDeliversAllChunks(t *testing.T) {
@@ -371,8 +372,8 @@ func TestStarvedQueryPreferred(t *testing.T) {
 	// QueryRelevance prioritizes starved/short queries.
 	_, snap := fixture(t, 81920)
 	eng := sim.NewEngine()
-	disk := iosim.New(eng, iosim.Config{Bandwidth: 50e6, SeekLatency: 100 * time.Microsecond})
-	a := New(eng, disk, Config{ChunkTuples: 4096, Capacity: 1 << 30})
+	disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 50e6, SeekLatency: 100 * time.Microsecond})
+	a := New(rt.Sim(eng), disk, Config{ChunkTuples: 4096, Capacity: 1 << 30})
 	var shortDone, longDone sim.Time
 	wg := eng.NewWaitGroup()
 	wg.Add(2)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/iosim"
+	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -37,9 +38,9 @@ func narrowFixture(t testing.TB, nTuples int) *storage.Snapshot {
 func TestEvictionTransfersSpanningPages(t *testing.T) {
 	snap := narrowFixture(t, 65536) // 4 pages, 16 chunks of 4096
 	eng := sim.NewEngine()
-	disk := iosim.New(eng, iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
+	disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
 	// Capacity of two pages: loading a third page forces eviction.
-	a := New(eng, disk, Config{ChunkTuples: 4096, Capacity: 2 * storage.PageSize})
+	a := New(rt.Sim(eng), disk, Config{ChunkTuples: 4096, Capacity: 2 * storage.PageSize})
 	wg := eng.NewWaitGroup()
 	wg.Add(2)
 	// Scan A consumes the whole table slowly; scan B only the first page
@@ -79,8 +80,8 @@ func TestEvictionTransfersSpanningPages(t *testing.T) {
 func TestHeirStrictlyIncreasesInterest(t *testing.T) {
 	snap := narrowFixture(t, 32768)
 	eng := sim.NewEngine()
-	disk := iosim.New(eng, iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
-	a := New(eng, disk, Config{ChunkTuples: 4096, Capacity: 1 << 30})
+	disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
+	a := New(rt.Sim(eng), disk, Config{ChunkTuples: 4096, Capacity: 1 << 30})
 	eng.Go("setup", func() {
 		cs := a.RegisterCScan(snap, []int{0}, []SIDRange{{0, 32768}}, false)
 		// Load everything by consuming it.

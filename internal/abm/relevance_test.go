@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/iosim"
+	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -15,8 +16,8 @@ import (
 func TestLoadRelevancePrefersSharedInterest(t *testing.T) {
 	_, snap := fixture(t, 40960) // 10 chunks of 4096
 	eng := sim.NewEngine()
-	disk := iosim.New(eng, iosim.Config{Bandwidth: 100e6, SeekLatency: 50 * time.Microsecond})
-	a := New(eng, disk, Config{ChunkTuples: 4096, Capacity: 1 << 30})
+	disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 100e6, SeekLatency: 50 * time.Microsecond})
+	a := New(rt.Sim(eng), disk, Config{ChunkTuples: 4096, Capacity: 1 << 30})
 
 	// Scan A wants chunks 0-9; scan B wants chunks 5-9. Register B first
 	// so the overlap exists before A's first loads are chosen. The

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/iosim"
+	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -36,8 +37,8 @@ func makePages(t testing.TB, n int) []*storage.Page {
 func poolFixture(t testing.TB, policy Policy, capPages int, nPages int) (*sim.Engine, *Pool, []*storage.Page) {
 	t.Helper()
 	eng := sim.NewEngine()
-	disk := iosim.New(eng, iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
-	pool := NewPool(eng, disk, policy, int64(capPages)*storage.PageSize)
+	disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
+	pool := NewPool(rt.Sim(eng), disk, policy, int64(capPages)*storage.PageSize)
 	return eng, pool, makePages(t, nPages)
 }
 
@@ -383,8 +384,8 @@ func TestGetRunReissuesRemainderAfterRace(t *testing.T) {
 func shardedFixture(t testing.TB, shards, capPages, nPages int) (*sim.Engine, *Pool, []*storage.Page) {
 	t.Helper()
 	eng := sim.NewEngine()
-	disk := iosim.New(eng, iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
-	pool := NewShardedPool(eng, disk, FactoryOf("LRU"), int64(capPages)*storage.PageSize, shards)
+	disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
+	pool := NewShardedPool(rt.Sim(eng), disk, FactoryOf("LRU"), int64(capPages)*storage.PageSize, shards)
 	return eng, pool, makePages(t, nPages)
 }
 
@@ -505,7 +506,7 @@ func TestSingleShardMatchesNewPool(t *testing.T) {
 	trace := []int{0, 1, 2, 3, 0, 4, 5, 1, 6, 2, 7, 0, 3, 3, 5}
 	run := func(mk func(eng *sim.Engine, disk *iosim.Disk) *Pool) (Stats, sim.Time) {
 		eng := sim.NewEngine()
-		disk := iosim.New(eng, iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
+		disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
 		pool := mk(eng, disk)
 		pages := makePages(t, 8)
 		eng.Go("q", func() {
@@ -517,10 +518,10 @@ func TestSingleShardMatchesNewPool(t *testing.T) {
 		return pool.Stats(), eng.Now()
 	}
 	sa, ta := run(func(eng *sim.Engine, disk *iosim.Disk) *Pool {
-		return NewPool(eng, disk, NewLRU(), 4*storage.PageSize)
+		return NewPool(rt.Sim(eng), disk, NewLRU(), 4*storage.PageSize)
 	})
 	sb, tb := run(func(eng *sim.Engine, disk *iosim.Disk) *Pool {
-		return NewShardedPool(eng, disk, FactoryOf("LRU"), 4*storage.PageSize, 1)
+		return NewShardedPool(rt.Sim(eng), disk, FactoryOf("LRU"), 4*storage.PageSize, 1)
 	})
 	if sa != sb || ta != tb {
 		t.Fatalf("single-shard divergence: %+v at %v vs %+v at %v", sa, ta, sb, tb)

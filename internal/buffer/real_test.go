@@ -1,0 +1,138 @@
+package buffer
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/iosim"
+	"repro/internal/rt"
+	"repro/internal/storage"
+)
+
+// Real-runtime pool tests: run with -race. They hammer the paths the
+// Runtime refactor converted from cooperative-scheduling invariants to
+// explicit synchronization — shard-parallel gets, reservation stalls and
+// their condvar wake-ups, cross-shard capacity borrowing, and shared
+// loads of the same missing page.
+
+// realPoolEnv builds a small sharded pool on the real runtime over nPages
+// one-tuple pages of a single column.
+func realPoolEnv(t *testing.T, capPages, nPages, shards int) (rt.Runtime, *Pool, []*storage.Page) {
+	t.Helper()
+	r := rt.NewReal()
+	disk := iosim.New(r, iosim.Config{Bandwidth: 10e9, SeekLatency: time.Microsecond})
+	pool := NewShardedPool(r, disk, FactoryOf("LRU"), int64(capPages)*storage.PageSize, shards)
+	return r, pool, makePages(t, nPages)
+}
+
+func TestRealPoolConcurrentGetUnpin(t *testing.T) {
+	r, pool, pages := realPoolEnv(t, 8, 64, 4)
+	const workers = 16
+	var pins atomic.Int64
+	for w := 0; w < workers; w++ {
+		w := w
+		r.Go("scanner", func() {
+			for i := 0; i < 200; i++ {
+				pg := pages[(w*31+i*7)%len(pages)]
+				f := pool.Get(pg)
+				if f.Page != pg {
+					t.Errorf("got frame for page %d, want %d", f.Page.ID, pg.ID)
+					pool.Unpin(f)
+					return
+				}
+				pins.Add(1)
+				pool.Unpin(f)
+			}
+		})
+	}
+	r.Run()
+	if t.Failed() {
+		return
+	}
+	if pins.Load() != workers*200 {
+		t.Fatalf("completed %d/%d gets", pins.Load(), workers*200)
+	}
+	st := pool.Stats()
+	if st.Hits+st.Misses != workers*200 {
+		t.Fatalf("hits %d + misses %d != %d accesses", st.Hits, st.Misses, workers*200)
+	}
+	if used, cap := pool.Used(), pool.Capacity(); used > cap {
+		t.Fatalf("pool left overcommitted: %d/%d", used, cap)
+	}
+}
+
+// TestRealPoolStallWakeup drives the pool into reservation stalls: more
+// concurrently pinned frames than fit would deadlock a lost wake-up, so
+// completion of this test under -race is the shard-condvar correctness
+// proof the refactor needs.
+func TestRealPoolStallWakeup(t *testing.T) {
+	r, pool, pages := realPoolEnv(t, 4, 32, 4)
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		w := w
+		r.Go("pinner", func() {
+			for i := 0; i < 150; i++ {
+				pg := pages[(w*13+i*5)%len(pages)]
+				f := pool.Get(pg)
+				// Hold the pin briefly so reservations really stall on
+				// pinned frames and must be woken by Unpin.
+				if i%7 == 0 {
+					r.Sleep(50 * time.Microsecond)
+				}
+				pool.Unpin(f)
+			}
+		})
+	}
+	done := make(chan struct{})
+	go func() { r.Run(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("pool deadlocked: a reservation stall was never woken")
+	}
+	if st := pool.Stats(); st.Stalls == 0 {
+		t.Log("note: no stalls exercised (timing-dependent); wake-up path not covered this run")
+	}
+}
+
+func TestRealPoolGetRunSharedLoads(t *testing.T) {
+	r, pool, pages := realPoolEnv(t, 16, 48, 4)
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		w := w
+		r.Go("runner", func() {
+			for i := 0; i+8 <= len(pages); i += 4 {
+				run := pages[i : i+8]
+				if (w+i)%2 == 0 {
+					f := pool.GetRun(run)
+					pool.Unpin(f)
+				} else {
+					f := pool.Get(run[0])
+					pool.Unpin(f)
+				}
+			}
+		})
+	}
+	r.Run()
+	st := pool.Stats()
+	if st.BytesLoaded == 0 {
+		t.Fatal("no bytes loaded")
+	}
+	// Every page is eventually resident or evicted exactly via the stats
+	// counters; the books must balance.
+	var used int64
+	for _, sh := range pool.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			used += f.Page.Bytes
+			if f.loading {
+				t.Error("frame left in loading state after Run")
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if used != pool.Used() {
+		t.Fatalf("used counter %d != resident bytes %d", pool.Used(), used)
+	}
+}

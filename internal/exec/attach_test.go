@@ -8,6 +8,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/iosim"
 	"repro/internal/pdt"
+	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -80,14 +81,14 @@ func TestAttachScanWrapsAround(t *testing.T) {
 func TestAttachScanSharesIO(t *testing.T) {
 	run := func(attach bool) int64 {
 		eng := sim.NewEngine()
-		disk := iosim.New(eng, iosim.Config{Bandwidth: 150e6, SeekLatency: 20 * time.Microsecond})
+		disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 150e6, SeekLatency: 20 * time.Microsecond})
 		cat := storage.NewCatalog()
 		tb, _ := cat.CreateTable("t", storage.Schema{{Name: "a", Type: storage.Int64, Width: 8}})
 		d := storage.NewColumnData()
 		d.I64[0] = make([]int64, 200_000)
 		snap, _ := tb.Master().Append(d)
-		pool := buffer.NewPool(eng, disk, buffer.NewLRU(), snap.TotalBytes(nil)/4)
-		ctx := &Ctx{Eng: eng, Pool: pool, ReadAheadTuples: 8192}
+		pool := buffer.NewPool(rt.Sim(eng), disk, buffer.NewLRU(), snap.TotalBytes(nil)/4)
+		ctx := &Ctx{RT: rt.Sim(eng), Pool: pool, ReadAheadTuples: 8192}
 		reg := NewAttachRegistry()
 		wg := eng.NewWaitGroup()
 		scan := func(delay sim.Duration) {

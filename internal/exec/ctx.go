@@ -4,36 +4,41 @@ import (
 	"repro/internal/abm"
 	"repro/internal/buffer"
 	"repro/internal/pbm"
+	"repro/internal/rt"
 	"repro/internal/sim"
 )
 
 // CPU models a fixed number of cores: operators charge work bursts that
-// occupy one core for their duration, so more simulated threads than
-// cores contend, producing the CPU-bound plateaus of the paper's
-// high-bandwidth configurations.
+// occupy one core for their duration, so more threads than cores contend,
+// producing the CPU-bound plateaus of the paper's high-bandwidth
+// configurations. On the real runtime the semaphore is a real one and the
+// burst is a wall-clock sleep, so the model prices CPU work identically
+// in both modes.
 type CPU struct {
-	eng *sim.Engine
-	res *sim.Resource
+	r   rt.Runtime
+	res rt.Resource
 }
 
 // NewCPU creates a CPU with the given core count.
-func NewCPU(eng *sim.Engine, cores int) *CPU {
-	return &CPU{eng: eng, res: eng.NewResource(cores)}
+func NewCPU(r rt.Runtime, cores int) *CPU {
+	return &CPU{r: r, res: r.NewResource(cores)}
 }
 
-// Work occupies one core for d of virtual time.
+// Work occupies one core for d.
 func (c *CPU) Work(d sim.Duration) {
 	if d <= 0 {
 		return
 	}
 	c.res.Acquire()
-	c.eng.Sleep(d)
+	c.r.Sleep(d)
 	c.res.Release()
 }
 
 // Ctx carries the execution environment shared by a plan's operators.
 type Ctx struct {
-	Eng *sim.Engine
+	// RT is the execution runtime: the deterministic simulator or the
+	// real-threaded wall-clock runtime.
+	RT rt.Runtime
 	// CPU is the core model; nil disables CPU cost.
 	CPU *CPU
 	// PerTupleCPU is the virtual CPU cost charged per tuple produced by a
@@ -51,6 +56,10 @@ type Ctx struct {
 	// ReadAheadTuples is the per-column read-ahead window of the Scan
 	// operator, in tuples.
 	ReadAheadTuples int64
+	// Workers, when non-nil, is the bounded worker pool XChg submits its
+	// subplan producers to (real runtime; sized by the core count). Nil
+	// means one cooperative process per subplan (sim runtime).
+	Workers *rt.WorkerPool
 }
 
 // work charges d against the context's CPU model, if any.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/iosim"
 	"repro/internal/pdt"
+	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -26,8 +27,8 @@ type env struct {
 func newEnv(t testing.TB, n int, withABM bool) *env {
 	t.Helper()
 	eng := sim.NewEngine()
-	disk := iosim.New(eng, iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
-	pool := buffer.NewPool(eng, disk, buffer.NewLRU(), 1<<30)
+	disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
+	pool := buffer.NewPool(rt.Sim(eng), disk, buffer.NewLRU(), 1<<30)
 
 	cat := storage.NewCatalog()
 	tb, err := cat.CreateTable("t", storage.Schema{
@@ -64,10 +65,10 @@ func newEnv(t testing.TB, n int, withABM bool) *env {
 	e := &env{
 		eng:  eng,
 		snap: snap,
-		ctx:  &Ctx{Eng: eng, Pool: pool, ReadAheadTuples: 8192},
+		ctx:  &Ctx{RT: rt.Sim(eng), Pool: pool, ReadAheadTuples: 8192},
 	}
 	if withABM {
-		e.abm = abm.New(eng, disk, abm.Config{ChunkTuples: 2048, Capacity: 1 << 30})
+		e.abm = abm.New(rt.Sim(eng), disk, abm.Config{ChunkTuples: 2048, Capacity: 1 << 30})
 		e.ctx.ABM = e.abm
 	}
 	return e
@@ -329,7 +330,7 @@ func TestSortAndLimit(t *testing.T) {
 
 func TestXChgParallelAggregation(t *testing.T) {
 	e := newEnv(t, 8000, false)
-	e.ctx.CPU = NewCPU(e.eng, 4)
+	e.ctx.CPU = NewCPU(rt.Sim(e.eng), 4)
 	e.ctx.PerTupleCPU = 10 * time.Nanosecond
 	e.run(func() {
 		parts := make([]func() Op, 0, 4)
@@ -398,7 +399,7 @@ func TestPartitionRangeEq1(t *testing.T) {
 
 func TestScanChargesCPUTime(t *testing.T) {
 	e := newEnv(t, 5000, false)
-	e.ctx.CPU = NewCPU(e.eng, 1)
+	e.ctx.CPU = NewCPU(rt.Sim(e.eng), 1)
 	e.ctx.PerTupleCPU = 1000 * time.Nanosecond
 	var elapsed sim.Time
 	e.run(func() {
@@ -413,7 +414,7 @@ func TestScanChargesCPUTime(t *testing.T) {
 
 func TestCPUContention(t *testing.T) {
 	eng := sim.NewEngine()
-	cpu := NewCPU(eng, 2)
+	cpu := NewCPU(rt.Sim(eng), 2)
 	var end sim.Time
 	wg := eng.NewWaitGroup()
 	for i := 0; i < 4; i++ {

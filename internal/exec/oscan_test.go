@@ -9,6 +9,7 @@ import (
 	"repro/internal/iosim"
 	"repro/internal/pbm"
 	"repro/internal/pdt"
+	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -63,7 +64,7 @@ func TestOScanWithPDT(t *testing.T) {
 func TestOScanAttachesToCachedRegion(t *testing.T) {
 	run := func(opportunistic bool) int64 {
 		eng := sim.NewEngine()
-		disk := iosim.New(eng, iosim.Config{Bandwidth: 150e6, SeekLatency: 20 * time.Microsecond})
+		disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 150e6, SeekLatency: 20 * time.Microsecond})
 		pol := pbm.New(eng, pbm.DefaultConfig())
 		nTuples := 200_000
 		cat := storage.NewCatalog()
@@ -71,8 +72,8 @@ func TestOScanAttachesToCachedRegion(t *testing.T) {
 		d := storage.NewColumnData()
 		d.I64[0] = make([]int64, nTuples)
 		snap, _ := tb.Master().Append(d)
-		pool := buffer.NewPool(eng, disk, pol, snap.TotalBytes(nil)/2)
-		ctx := &Ctx{Eng: eng, Pool: pool, PBM: pol, ReadAheadTuples: 8192}
+		pool := buffer.NewPool(rt.Sim(eng), disk, pol, snap.TotalBytes(nil)/2)
+		ctx := &Ctx{RT: rt.Sim(eng), Pool: pool, PBM: pol, ReadAheadTuples: 8192}
 		wg := eng.NewWaitGroup()
 		scan := func(delay sim.Duration) {
 			defer wg.Done()

@@ -199,7 +199,7 @@ func (s *Scan) Next() *Batch {
 		// §5 attach&throttle: pause briefly when PBM advises that slowing
 		// down lets trailing scans reuse our pages before eviction.
 		if s.Ctx.PBM.ThrottleEnabled() && s.Ctx.PBM.ShouldThrottle(s.pbmID) {
-			s.Ctx.Eng.Sleep(s.Ctx.PBM.ThrottlePause())
+			s.Ctx.RT.Sleep(s.Ctx.PBM.ThrottlePause())
 		}
 	}
 	return s.out

@@ -1,15 +1,27 @@
 package exec
 
 import (
-	"repro/internal/sim"
+	"sync"
+
+	"repro/internal/rt"
 	"repro/internal/storage"
 )
 
 // XChg is the Exchange operator of §2.2 (Volcano-style): it runs N copies
-// of a subplan as separate simulated processes (one per "thread") and
-// merges their output streams. Plans are parallelized by statically
-// partitioning the scanned RID range per Equation 1 and building one
-// subplan per partition.
+// of a subplan as separate processes (one per "thread") and merges their
+// output streams. Plans are parallelized by statically partitioning the
+// scanned RID range per Equation 1 and building one subplan per
+// partition.
+//
+// The operator has two fan-out mechanisms behind one interface:
+//
+//   - Sim runtime (Ctx.Workers == nil): one cooperative process per
+//     subplan, a shared slice queue, and engine events for back
+//     pressure — byte-for-byte the historical deterministic behavior.
+//   - Real runtime (Ctx.Workers != nil): producers are submitted to the
+//     shared worker pool (bounded by the core count, so intra-query
+//     parallelism cannot oversubscribe the machine), and the merge queue
+//     is a bounded channel whose send/receive provides the back pressure.
 type XChg struct {
 	Ctx *Ctx
 	// Parts builds the i-th parallel subplan.
@@ -20,11 +32,16 @@ type XChg struct {
 
 	schema  []storage.ColumnType
 	queue   []*Batch
-	space   *sim.Event
-	ready   *sim.Event
+	space   rt.Event
+	ready   rt.Event
 	running int
 	out     *Batch
 	opened  bool
+
+	// Real-runtime state.
+	ch        chan *Batch
+	cancel    chan struct{}
+	closeOnce sync.Once
 }
 
 // Schema implements Operator.
@@ -45,14 +62,18 @@ func (x *XChg) Open() {
 	if x.QueueCap <= 0 {
 		x.QueueCap = 4
 	}
-	x.space = x.Ctx.Eng.NewEvent()
-	x.ready = x.Ctx.Eng.NewEvent()
 	x.out = NewBatch(x.Schema())
+	if x.Ctx.Workers != nil {
+		x.openReal()
+		return
+	}
+	x.space = x.Ctx.RT.NewEvent()
+	x.ready = x.Ctx.RT.NewEvent()
 	x.running = len(x.Parts)
 	cap := x.QueueCap * len(x.Parts)
 	for _, mk := range x.Parts {
 		mk := mk
-		x.Ctx.Eng.Go("xchg-worker", func() {
+		x.Ctx.RT.Go("xchg-worker", func() {
 			op := mk()
 			op.Open()
 			defer op.Close()
@@ -61,15 +82,7 @@ func (x *XChg) Open() {
 				if b == nil {
 					break
 				}
-				// Copy: the producer's batch is reused on its next call,
-				// while the consumer drains asynchronously.
-				cp := NewBatch(x.schema)
-				for i := 0; i < b.N; i++ {
-					for c := range cp.Vecs {
-						cp.Vecs[c].AppendFrom(b.Vecs[c], i)
-					}
-				}
-				cp.N = b.N
+				cp := copyBatch(x.schema, b)
 				for len(x.queue) >= cap {
 					x.space.Wait()
 				}
@@ -82,8 +95,58 @@ func (x *XChg) Open() {
 	}
 }
 
+// copyBatch snapshots b: the producer's batch is reused on its next call,
+// while the consumer drains asynchronously.
+func copyBatch(schema []storage.ColumnType, b *Batch) *Batch {
+	cp := NewBatch(schema)
+	for i := 0; i < b.N; i++ {
+		for c := range cp.Vecs {
+			cp.Vecs[c].AppendFrom(b.Vecs[c], i)
+		}
+	}
+	cp.N = b.N
+	return cp
+}
+
+// openReal starts the real-runtime fan-out: producers on the worker
+// pool, a bounded channel as the merge queue, and a closer goroutine
+// that seals the channel when the last producer finishes.
+func (x *XChg) openReal() {
+	x.ch = make(chan *Batch, x.QueueCap*len(x.Parts))
+	x.cancel = make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(len(x.Parts))
+	for _, mk := range x.Parts {
+		mk := mk
+		x.Ctx.Workers.Submit("xchg-worker", func() {
+			defer wg.Done()
+			op := mk()
+			op.Open()
+			defer op.Close()
+			for {
+				b := op.Next()
+				if b == nil {
+					return
+				}
+				select {
+				case x.ch <- copyBatch(x.schema, b):
+				case <-x.cancel:
+					return // consumer closed early: stop producing
+				}
+			}
+		})
+	}
+	x.Ctx.RT.Go("xchg-closer", func() {
+		wg.Wait()
+		close(x.ch)
+	})
+}
+
 // Next implements Operator: pops merged batches in arrival order.
 func (x *XChg) Next() *Batch {
+	if x.ch != nil {
+		return <-x.ch // nil when closed and drained
+	}
 	for {
 		if len(x.queue) > 0 {
 			b := x.queue[0]
@@ -101,6 +164,12 @@ func (x *XChg) Next() *Batch {
 // Close implements Operator: drains any remaining producer output so the
 // worker processes terminate.
 func (x *XChg) Close() {
+	if x.ch != nil {
+		x.closeOnce.Do(func() { close(x.cancel) })
+		for range x.ch {
+		}
+		return
+	}
 	for x.running > 0 || len(x.queue) > 0 {
 		x.queue = nil
 		x.space.Fire()

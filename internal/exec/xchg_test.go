@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -90,7 +91,7 @@ func TestXChgSchemaFromParts(t *testing.T) {
 
 func TestCPUWorkZeroIsFree(t *testing.T) {
 	eng := sim.NewEngine()
-	cpu := NewCPU(eng, 1)
+	cpu := NewCPU(rt.Sim(eng), 1)
 	eng.Go("w", func() {
 		cpu.Work(0)
 		if eng.Now() != 0 {

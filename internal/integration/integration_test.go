@@ -15,6 +15,7 @@ import (
 	"repro/internal/iosim"
 	"repro/internal/pbm"
 	"repro/internal/pdt"
+	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/tpch"
@@ -33,11 +34,11 @@ type sys struct {
 
 func newSys(policy workload.Policy, capBytes int64) *sys {
 	s := &sys{eng: sim.NewEngine()}
-	s.disk = iosim.New(s.eng, iosim.Config{Bandwidth: 500e6, SeekLatency: 20 * time.Microsecond})
-	s.ctx = &exec.Ctx{Eng: s.eng, ReadAheadTuples: 8192}
+	s.disk = iosim.New(rt.Sim(s.eng), iosim.Config{Bandwidth: 500e6, SeekLatency: 20 * time.Microsecond})
+	s.ctx = &exec.Ctx{RT: rt.Sim(s.eng), ReadAheadTuples: 8192}
 	switch policy {
 	case workload.CScan:
-		s.abm = abm.New(s.eng, s.disk, abm.Config{ChunkTuples: 2048, Capacity: capBytes})
+		s.abm = abm.New(rt.Sim(s.eng), s.disk, abm.Config{ChunkTuples: 2048, Capacity: capBytes})
 		s.ctx.ABM = s.abm
 	default:
 		var pol buffer.Policy
@@ -52,7 +53,7 @@ func newSys(policy workload.Policy, capBytes int64) *sys {
 		default:
 			pol = buffer.NewLRU()
 		}
-		s.pool = buffer.NewPool(s.eng, s.disk, pol, capBytes)
+		s.pool = buffer.NewPool(rt.Sim(s.eng), s.disk, pol, capBytes)
 		s.ctx.Pool = s.pool
 		if s.pbm != nil {
 			// Ctx.PBM is an interface; assigning a typed-nil *pbm.PBM

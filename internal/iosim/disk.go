@@ -7,13 +7,21 @@
 // on the device, so concurrent scans competing for the disk slow each
 // other down and destroy sequential locality — the core problem statement
 // of §1).
+//
+// The device is runtime-agnostic: on the sim runtime a read suspends the
+// calling process in virtual time; on the real runtime the same bandwidth
+// model is timed on the wall clock, so a read really blocks the calling
+// goroutine for the modeled device time and concurrent readers really
+// queue. The page payloads live in memory either way — the "disk" prices
+// access, it does not store bytes.
 package iosim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // BlockID identifies a physical disk block (a page's home location). IDs
@@ -26,18 +34,22 @@ type Stats struct {
 	BytesRead   int64 // total bytes transferred
 	Requests    int64 // number of read requests
 	Seeks       int64 // requests that were not sequential with the previous one
-	BusyTime    sim.Duration
+	BusyTime    rt.Duration
 	MaxQueueLen int // high-water mark of queued requests
 }
 
 // Disk is a simulated block device.
 type Disk struct {
-	eng *sim.Engine
+	r rt.Runtime
 
 	bandwidth   float64 // bytes per second of sequential transfer
-	seekLatency sim.Duration
+	seekLatency rt.Duration
 
-	busyUntil sim.Time
+	// mu guards the device position, queue and counters. Uncontended in
+	// sim mode (single running process); serializes request admission in
+	// real mode, which is exactly the FIFO device queue being modeled.
+	mu        sync.Mutex
+	busyUntil rt.Time
 	lastBlock BlockID
 	haveLast  bool
 	queued    int
@@ -45,6 +57,8 @@ type Disk struct {
 	stats Stats
 
 	// OnRead, if non-nil, observes every read (used by the trace recorder).
+	// It is called with the device mutex held, so observers need no
+	// synchronization of their own against concurrent reads.
 	OnRead func(b BlockID, bytes int64)
 }
 
@@ -54,22 +68,22 @@ type Config struct {
 	Bandwidth float64
 	// SeekLatency is added to any request that does not continue the
 	// previous request's block run.
-	SeekLatency sim.Duration
+	SeekLatency rt.Duration
 }
 
 // DefaultSeekLatency approximates a short SSD-array reposition; the
 // paper's testbed is an SSD RAID, so seeks are cheap but not free.
 const DefaultSeekLatency = 100 * time.Microsecond
 
-// New creates a disk attached to the engine.
-func New(eng *sim.Engine, cfg Config) *Disk {
+// New creates a disk attached to the runtime.
+func New(r rt.Runtime, cfg Config) *Disk {
 	if cfg.Bandwidth <= 0 {
 		panic("iosim: bandwidth must be positive")
 	}
 	if cfg.SeekLatency < 0 {
 		panic("iosim: negative seek latency")
 	}
-	return &Disk{eng: eng, bandwidth: cfg.Bandwidth, seekLatency: cfg.SeekLatency}
+	return &Disk{r: r, bandwidth: cfg.Bandwidth, seekLatency: cfg.SeekLatency}
 }
 
 // Bandwidth reports the configured sequential bandwidth in bytes/second.
@@ -83,21 +97,23 @@ func (d *Disk) Read(b BlockID, blocks int, bytes int64) {
 	if bytes <= 0 || blocks <= 0 {
 		panic(fmt.Sprintf("iosim: bad read: %d blocks, %d bytes", blocks, bytes))
 	}
+	d.mu.Lock()
 	d.queued++
 	if d.queued > d.stats.MaxQueueLen {
 		d.stats.MaxQueueLen = d.queued
 	}
 
-	start := d.eng.Now()
+	start := d.r.Now()
 	if d.busyUntil > start {
 		start = d.busyUntil
 	}
-	dur := sim.Duration(float64(bytes) / d.bandwidth * 1e9)
+	dur := rt.Duration(float64(bytes) / d.bandwidth * 1e9)
 	if !d.haveLast || b != d.lastBlock+1 {
 		dur += d.seekLatency
 		d.stats.Seeks++
 	}
-	d.busyUntil = start + sim.Time(dur)
+	until := start + rt.Time(dur)
+	d.busyUntil = until
 	d.lastBlock = b + BlockID(blocks) - 1
 	d.haveLast = true
 
@@ -107,13 +123,25 @@ func (d *Disk) Read(b BlockID, blocks int, bytes int64) {
 	if d.OnRead != nil {
 		d.OnRead(b, bytes)
 	}
+	d.mu.Unlock()
 
-	d.eng.SleepUntil(d.busyUntil)
+	d.r.SleepUntil(until)
+
+	d.mu.Lock()
 	d.queued--
+	d.mu.Unlock()
 }
 
 // Stats returns a snapshot of the device counters.
-func (d *Disk) Stats() Stats { return d.stats }
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // ResetStats zeroes the counters (the device position memory is kept).
-func (d *Disk) ResetStats() { d.stats = Stats{} }
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}

@@ -5,11 +5,12 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/rt"
 	"repro/internal/sim"
 )
 
 func newTestDisk(eng *sim.Engine, bw float64) *Disk {
-	return New(eng, Config{Bandwidth: bw, SeekLatency: time.Millisecond})
+	return New(rt.Sim(eng), Config{Bandwidth: bw, SeekLatency: time.Millisecond})
 }
 
 func TestSequentialReadTime(t *testing.T) {
@@ -129,7 +130,7 @@ func TestPropertyBandwidthIsCeiling(t *testing.T) {
 			return true
 		}
 		eng := sim.NewEngine()
-		d := New(eng, Config{Bandwidth: 1e6, SeekLatency: 0})
+		d := New(rt.Sim(eng), Config{Bandwidth: 1e6, SeekLatency: 0})
 		var total int64
 		var end sim.Time
 		eng.Go("r", func() {

@@ -23,6 +23,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/buffer"
@@ -142,7 +143,16 @@ func (b *bucket) front() *pageMeta {
 
 // PBM implements buffer.Policy plus the scan-registration interface of
 // Figure 3: RegisterScan, ReportScanPosition, UnregisterScan.
+//
+// A PBM instance is entered from two directions: by its pool shard
+// through the buffer.Policy hooks (under the shard's mutex) and directly
+// by scan operators through the Registry surface (under no lock at all).
+// On the real-threaded runtime those calls race, so every public entry
+// point takes the instance mutex; the lock order is always shard → pbm
+// and PBM never calls back into the pool, so the pair cannot deadlock.
+// In sim mode the mutex is uncontended and costs nothing.
 type PBM struct {
+	mu    sync.Mutex
 	cfg   Config
 	clock Clock
 
@@ -241,6 +251,8 @@ func (p *PBM) timeToBucket(d sim.Duration) int {
 // pagesPerColumn lists, per column, the pages in the order the scan will
 // consume them.
 func (p *PBM) RegisterScan(pagesPerColumn [][]*storage.Page) ScanID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.refresh()
 	p.nextID++
 	id := p.nextID
@@ -276,6 +288,8 @@ const speedWindowTuples = 4096
 // their columns at the same tuple position). The scan's speed estimate is
 // an exponentially-weighted average of windowed progress observations.
 func (p *PBM) ReportScanPosition(id ScanID, tuplesConsumed int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	st, ok := p.scans[id]
 	if !ok {
 		panic(fmt.Sprintf("pbm: unknown scan %d", id))
@@ -300,6 +314,8 @@ func (p *PBM) ReportScanPosition(id ScanID, tuplesConsumed int64) {
 // UnregisterScan removes the scan and drops its claim on all pages it
 // registered, re-bucketing resident pages.
 func (p *PBM) UnregisterScan(id ScanID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	st, ok := p.scans[id]
 	if !ok {
 		return
@@ -335,6 +351,8 @@ func (p *PBM) meta(pg *storage.Page) *pageMeta {
 // the volume wanted by no scan. All pages known to PBM (resident or
 // registered by a scan) are counted.
 func (p *PBM) SharingVolumes() [5]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var out [5]int64
 	for _, m := range p.pages {
 		n := 0
@@ -502,6 +520,8 @@ func (p *PBM) shiftOnce() {
 
 // Admitted implements buffer.Policy.
 func (p *PBM) Admitted(f *buffer.Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.refresh()
 	m := p.meta(f.Page)
 	m.frame = f
@@ -512,6 +532,8 @@ func (p *PBM) Admitted(f *buffer.Frame) {
 
 // Accessed implements buffer.Policy.
 func (p *PBM) Accessed(f *buffer.Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.refresh()
 	m := f.PolicyState.(*pageMeta)
 	p.recordUse(m)
@@ -527,6 +549,8 @@ func (p *PBM) recordUse(m *pageMeta) {
 
 // Removed implements buffer.Policy.
 func (p *PBM) Removed(f *buffer.Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	m := f.PolicyState.(*pageMeta)
 	p.noteEviction(m)
 	if m.bucket != nil {
@@ -551,6 +575,8 @@ func (p *PBM) Removed(f *buffer.Frame) {
 // furthest future backwards. Victims are pre-selected in batches of
 // EvictBatch to amortize selection cost.
 func (p *PBM) Victim() *buffer.Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.refresh()
 	for len(p.victims) > 0 {
 		m := p.victims[0]
@@ -646,6 +672,8 @@ func (p *PBM) selectVictims() {
 // ScanSpeed reports the current speed estimate for a scan (tuples/second),
 // exposed for tests and the attach/throttle extension.
 func (p *PBM) ScanSpeed(id ScanID) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if st, ok := p.scans[id]; ok {
 		return st.speed
 	}
@@ -655,6 +683,8 @@ func (p *PBM) ScanSpeed(id ScanID) float64 {
 // BucketSizes returns the number of pages in each requested bucket plus
 // the not-requested bucket at the end (for tests and introspection).
 func (p *PBM) BucketSizes() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make([]int, len(p.buckets)+1)
 	for i, b := range p.buckets {
 		out[i] = b.size

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/iosim"
+	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -92,9 +93,9 @@ func TestPropertyTimeToBucket(t *testing.T) {
 func pbmFixture(t testing.TB, capPages, nPages int, cfg Config) (*sim.Engine, *PBM, *buffer.Pool, []*storage.Page) {
 	t.Helper()
 	eng := sim.NewEngine()
-	disk := iosim.New(eng, iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
+	disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
 	p := New(eng, cfg)
-	pool := buffer.NewPool(eng, disk, p, int64(capPages)*storage.PageSize)
+	pool := buffer.NewPool(rt.Sim(eng), disk, p, int64(capPages)*storage.PageSize)
 
 	cat := storage.NewCatalog()
 	tb, err := cat.CreateTable("t", storage.Schema{{Name: "a", Type: storage.Int64, Width: 8}})
@@ -339,10 +340,10 @@ func TestPBMLRUHistoricalPlacement(t *testing.T) {
 func TestPBMBeatsLRUOnConcurrentScans(t *testing.T) {
 	run := func(mkPolicy func(eng *sim.Engine) buffer.Policy) buffer.Stats {
 		eng := sim.NewEngine()
-		disk := iosim.New(eng, iosim.Config{Bandwidth: 200e6, SeekLatency: 10 * time.Microsecond})
+		disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 200e6, SeekLatency: 10 * time.Microsecond})
 		var pol buffer.Policy = mkPolicy(eng)
 		nPages := 64
-		pool := buffer.NewPool(eng, disk, pol, int64(nPages/2)*storage.PageSize)
+		pool := buffer.NewPool(rt.Sim(eng), disk, pol, int64(nPages/2)*storage.PageSize)
 
 		cat := storage.NewCatalog()
 		tb, _ := cat.CreateTable("t", storage.Schema{{Name: "a", Type: storage.Int64, Width: 8}})

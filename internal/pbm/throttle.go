@@ -58,7 +58,11 @@ func (p *PBM) noteEviction(m *pageMeta) {
 
 // EvictionHorizon reports the current next_consumption_evict estimate in
 // virtual nanoseconds (0 when no requested page was evicted yet).
-func (p *PBM) EvictionHorizon() float64 { return p.evictHorizon }
+func (p *PBM) EvictionHorizon() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evictHorizon
+}
 
 // ShouldThrottle advises whether the given scan should pause to let
 // trailing scans catch up. The test is the paper's: find the soonest
@@ -67,6 +71,8 @@ func (p *PBM) EvictionHorizon() float64 { return p.evictHorizon }
 // trailing scan) beyond the eviction horizon, but throttling brings the
 // gap within the horizon, advise a pause.
 func (p *PBM) ShouldThrottle(id ScanID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if !p.throttle.Enabled || p.evictHorizon <= 0 {
 		return false
 	}
@@ -77,6 +83,10 @@ func (p *PBM) ShouldThrottle(id ScanID) bool {
 	// Find the closest trailing scan: smallest positive tuple gap to any
 	// other scan (an O(#scans) scan-position comparison; positions are
 	// comparable because the workload's scans cover the same tables).
+	// Ties break on the lower scan id: p.scans is a map, and letting its
+	// iteration order decide between equally-distant trailers made the
+	// throttle advice — and with it the whole PBM+throttle run —
+	// nondeterministic even on the simulator.
 	bestGap := int64(-1)
 	var trailer *scanState
 	for _, st := range p.scans {
@@ -84,7 +94,10 @@ func (p *PBM) ShouldThrottle(id ScanID) bool {
 			continue
 		}
 		gap := lead.tuplesConsumed - st.tuplesConsumed
-		if gap > 0 && (bestGap < 0 || gap < bestGap) {
+		if gap <= 0 {
+			continue
+		}
+		if bestGap < 0 || gap < bestGap || (gap == bestGap && st.id < trailer.id) {
 			bestGap = gap
 			trailer = st
 		}
@@ -109,10 +122,22 @@ func (p *PBM) ShouldThrottle(id ScanID) bool {
 }
 
 // SetThrottle configures the attach&throttle extension.
-func (p *PBM) SetThrottle(cfg ThrottleConfig) { p.throttle = cfg }
+func (p *PBM) SetThrottle(cfg ThrottleConfig) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.throttle = cfg
+}
 
 // ThrottlePause returns the configured pause duration.
-func (p *PBM) ThrottlePause() sim.Duration { return p.throttle.Pause }
+func (p *PBM) ThrottlePause() sim.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.throttle.Pause
+}
 
 // ThrottleEnabled reports whether the extension is active.
-func (p *PBM) ThrottleEnabled() bool { return p.throttle.Enabled }
+func (p *PBM) ThrottleEnabled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.throttle.Enabled
+}

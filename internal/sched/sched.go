@@ -19,7 +19,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
+	"repro/internal/rt"
 	"repro/internal/sim"
 )
 
@@ -71,16 +73,18 @@ func (q QueryStat) Latency() sim.Duration { return sim.Duration(q.Finish - q.Arr
 
 // waiter is one query parked in the admission queue.
 type waiter struct {
-	ev *sim.Event
+	ev rt.Event
 }
 
 // Scheduler admits queries under an MPL limit with a bounded FIFO queue.
-// All methods must be called from within simulated processes of the
-// engine the scheduler is bound to.
+// All methods must be called from processes of the runtime the scheduler
+// is bound to. The instance mutex makes admission and completion atomic
+// on the real-threaded runtime; in sim mode it is uncontended.
 type Scheduler struct {
-	eng *sim.Engine
+	r   rt.Runtime
 	cfg Config
 
+	mu      sync.Mutex
 	running int
 	queue   []*waiter
 
@@ -90,9 +94,9 @@ type Scheduler struct {
 	maxQueue  int
 }
 
-// New creates a scheduler bound to the engine.
-func New(eng *sim.Engine, cfg Config) *Scheduler {
-	return &Scheduler{eng: eng, cfg: cfg.withDefaults()}
+// New creates a scheduler bound to the runtime.
+func New(r rt.Runtime, cfg Config) *Scheduler {
+	return &Scheduler{r: r, cfg: cfg.withDefaults()}
 }
 
 // Ticket is the admission handle of a running query; call Done exactly
@@ -116,26 +120,33 @@ func (t *Ticket) Admit() sim.Time { return t.admit }
 // in the admission queue. It returns ok=false — without blocking — when
 // the queue is full and the query is rejected.
 func (s *Scheduler) Admit(stream, seq int) (*Ticket, bool) {
+	s.mu.Lock()
 	s.arrived++
-	t := &Ticket{s: s, stream: stream, seq: seq, arrive: s.eng.Now()}
+	t := &Ticket{s: s, stream: stream, seq: seq, arrive: s.r.Now()}
 	if s.running < s.cfg.MPL {
 		s.running++
 		t.admit = t.arrive
+		s.mu.Unlock()
 		return t, true
 	}
 	if s.cfg.QueueDepth >= 0 && len(s.queue) >= s.cfg.QueueDepth {
 		s.rejected++
+		s.mu.Unlock()
 		return nil, false
 	}
-	w := &waiter{ev: s.eng.NewEvent()}
+	w := &waiter{ev: s.r.NewEvent()}
 	s.queue = append(s.queue, w)
 	if len(s.queue) > s.maxQueue {
 		s.maxQueue = len(s.queue)
 	}
 	// The releasing query transfers its MPL slot directly to the queue
 	// head before firing the event, so on wake-up the slot is ours.
-	w.ev.Wait()
-	t.admit = s.eng.Now()
+	// Interest is registered before the mutex is dropped, so a transfer
+	// racing the block cannot be lost.
+	waitSlot := w.ev.Waiter()
+	s.mu.Unlock()
+	waitSlot.Wait()
+	t.admit = s.r.Now()
 	return t, true
 }
 
@@ -147,28 +158,44 @@ func (t *Ticket) Done() {
 	}
 	t.done = true
 	s := t.s
+	s.mu.Lock()
 	s.completed = append(s.completed, QueryStat{
 		Stream: t.stream, Seq: t.seq,
-		Arrive: t.arrive, Admit: t.admit, Finish: s.eng.Now(),
+		Arrive: t.arrive, Admit: t.admit, Finish: s.r.Now(),
 	})
 	if len(s.queue) > 0 {
 		head := s.queue[0]
 		s.queue = s.queue[1:]
+		s.mu.Unlock()
 		head.ev.Fire()
 		return // slot transferred, running count unchanged
 	}
 	s.running--
+	s.mu.Unlock()
 }
 
 // Running reports the number of currently executing queries.
-func (s *Scheduler) Running() int { return s.running }
+func (s *Scheduler) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
 
 // Queued reports the number of queries waiting in the admission queue.
-func (s *Scheduler) Queued() int { return len(s.queue) }
+func (s *Scheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
 
 // Completed returns the recorded per-query statistics, in completion
-// order.
-func (s *Scheduler) Completed() []QueryStat { return s.completed }
+// order. The returned slice is shared; do not call while queries are
+// still completing on the real runtime.
+func (s *Scheduler) Completed() []QueryStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completed
+}
 
 // LatencyDist summarizes a latency distribution with nearest-rank
 // percentiles.
@@ -243,8 +270,10 @@ type Stats struct {
 	Throughput float64
 }
 
-// Stats summarizes the run as of virtual time now.
+// Stats summarizes the run as of time now.
 func (s *Scheduler) Stats(now sim.Time) Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	st := Stats{
 		Arrived:       s.arrived,
 		Completed:     int64(len(s.completed)),

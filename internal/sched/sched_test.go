@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/rt"
 	"repro/internal/sim"
 )
 
@@ -14,7 +15,7 @@ import (
 func runQueries(t *testing.T, cfg Config, n int, gap, execTime sim.Duration) (Stats, *Scheduler) {
 	t.Helper()
 	eng := sim.NewEngine()
-	sch := New(eng, cfg)
+	sch := New(rt.Sim(eng), cfg)
 	var stats Stats
 	wg := eng.NewWaitGroup()
 	wg.Add(1)
@@ -45,7 +46,7 @@ func runQueries(t *testing.T, cfg Config, n int, gap, execTime sim.Duration) (St
 
 func TestMPLEnforced(t *testing.T) {
 	eng := sim.NewEngine()
-	sch := New(eng, Config{MPL: 3, QueueDepth: -1})
+	sch := New(rt.Sim(eng), Config{MPL: 3, QueueDepth: -1})
 	maxRunning := 0
 	wg := eng.NewWaitGroup()
 	for i := 0; i < 10; i++ {
@@ -77,7 +78,7 @@ func TestMPLEnforced(t *testing.T) {
 
 func TestAdmissionIsFIFO(t *testing.T) {
 	eng := sim.NewEngine()
-	sch := New(eng, Config{MPL: 1, QueueDepth: -1})
+	sch := New(rt.Sim(eng), Config{MPL: 1, QueueDepth: -1})
 	var order []int
 	wg := eng.NewWaitGroup()
 	for i := 0; i < 6; i++ {
@@ -100,7 +101,7 @@ func TestAdmissionIsFIFO(t *testing.T) {
 
 func TestBoundedQueueRejects(t *testing.T) {
 	eng := sim.NewEngine()
-	sch := New(eng, Config{MPL: 1, QueueDepth: 2})
+	sch := New(rt.Sim(eng), Config{MPL: 1, QueueDepth: 2})
 	admitted, rejected := 0, 0
 	wg := eng.NewWaitGroup()
 	// All five arrive at the same instant: one runs, two queue, two are
@@ -216,7 +217,7 @@ func TestDistOfMatchesPercentile(t *testing.T) {
 func TestSchedulerDeterministic(t *testing.T) {
 	run := func() Stats {
 		eng := sim.NewEngine()
-		sch := New(eng, Config{MPL: 4, QueueDepth: 8, SLO: 50 * time.Millisecond})
+		sch := New(rt.Sim(eng), Config{MPL: 4, QueueDepth: 8, SLO: 50 * time.Millisecond})
 		rng := rand.New(rand.NewSource(7))
 		wg := eng.NewWaitGroup()
 		wg.Add(1)
@@ -257,7 +258,7 @@ func TestSchedulerDeterministic(t *testing.T) {
 
 func TestTicketDoneTwicePanics(t *testing.T) {
 	eng := sim.NewEngine()
-	sch := New(eng, Config{MPL: 1})
+	sch := New(rt.Sim(eng), Config{MPL: 1})
 	eng.Go("q", func() {
 		tk, _ := sch.Admit(0, 0)
 		tk.Done()

@@ -7,6 +7,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/exec"
 	"repro/internal/iosim"
+	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -101,9 +102,9 @@ type planEnv struct {
 func newPlanEnv(t testing.TB) *planEnv {
 	t.Helper()
 	eng := sim.NewEngine()
-	disk := iosim.New(eng, iosim.Config{Bandwidth: 2e9, SeekLatency: 10 * time.Microsecond})
-	pool := buffer.NewPool(eng, disk, buffer.NewLRU(), 1<<31)
-	return &planEnv{eng: eng, ctx: &exec.Ctx{Eng: eng, Pool: pool, ReadAheadTuples: 16384}}
+	disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 2e9, SeekLatency: 10 * time.Microsecond})
+	pool := buffer.NewPool(rt.Sim(eng), disk, buffer.NewLRU(), 1<<31)
+	return &planEnv{eng: eng, ctx: &exec.Ctx{RT: rt.Sim(eng), Pool: pool, ReadAheadTuples: 16384}}
 }
 
 func (pe *planEnv) scanBuilder(db *DB) ScanBuilder {

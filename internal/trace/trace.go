@@ -3,13 +3,19 @@
 package trace
 
 import (
+	"sync"
+
 	"repro/internal/buffer"
 	"repro/internal/opt"
 	"repro/internal/storage"
 )
 
-// Recorder accumulates page references in request order.
+// Recorder accumulates page references in request order. It is safe for
+// concurrent use: on the real-threaded runtime the pool's per-shard
+// OnAccess callbacks fire from many goroutines (request order then means
+// mutex-acquisition order; replay determinism is a sim-mode property).
 type Recorder struct {
+	mu   sync.Mutex
 	refs []opt.Ref
 }
 
@@ -21,7 +27,7 @@ func NewRecorder() *Recorder { return &Recorder{} }
 func (r *Recorder) Attach(pool *buffer.Pool) {
 	prev := pool.OnAccess
 	pool.OnAccess = func(p *storage.Page) {
-		r.refs = append(r.refs, opt.Ref{Page: p.ID, Bytes: p.Bytes})
+		r.Record(p)
 		if prev != nil {
 			prev(p)
 		}
@@ -31,14 +37,28 @@ func (r *Recorder) Attach(pool *buffer.Pool) {
 // Record appends one reference directly (used by the chunk-granularity
 // ABM path, which bypasses the page pool).
 func (r *Recorder) Record(p *storage.Page) {
+	r.mu.Lock()
 	r.refs = append(r.refs, opt.Ref{Page: p.ID, Bytes: p.Bytes})
+	r.mu.Unlock()
 }
 
 // Refs returns the recorded trace.
-func (r *Recorder) Refs() []opt.Ref { return r.refs }
+func (r *Recorder) Refs() []opt.Ref {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.refs
+}
 
 // Len returns the number of recorded references.
-func (r *Recorder) Len() int { return len(r.refs) }
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.refs)
+}
 
 // Reset clears the trace.
-func (r *Recorder) Reset() { r.refs = r.refs[:0] }
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.refs = r.refs[:0]
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/iosim"
 	"repro/internal/opt"
+	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -32,8 +33,8 @@ func fixture(t *testing.T, nPages int) (*sim.Engine, *buffer.Pool, []*storage.Pa
 		t.Fatal(err)
 	}
 	eng := sim.NewEngine()
-	disk := iosim.New(eng, iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
-	pool := buffer.NewPool(eng, disk, buffer.NewLRU(), int64(nPages)*storage.PageSize)
+	disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
+	pool := buffer.NewPool(rt.Sim(eng), disk, buffer.NewLRU(), int64(nPages)*storage.PageSize)
 	rec := NewRecorder()
 	rec.Attach(pool)
 	return eng, pool, s.Pages(0), rec

@@ -41,13 +41,13 @@ func RunMicro(db *tpch.DB, cfg Config) *Result {
 	n := db.Snapshot("lineitem").NumTuples()
 
 	streamEnds := make([]sim.Time, cfg.Streams)
-	wg := e.eng.NewWaitGroup()
+	wg := e.rt.NewWaitGroup()
 	stopSampler := e.sharingSampler()
 	for s := 0; s < cfg.Streams; s++ {
 		s := s
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(s)*7919))
 		wg.Add(1)
-		e.eng.Go("stream", func() {
+		e.rt.Go("stream", func() {
 			defer wg.Done()
 			for q := 0; q < cfg.QueriesPerStream; q++ {
 				pct := cfg.RangePercents[rng.Intn(len(cfg.RangePercents))]
@@ -55,17 +55,17 @@ func RunMicro(db *tpch.DB, cfg Config) *Result {
 				useQ1 := rng.Intn(2) == 0
 				exec.Drain(e.microPlan(db, build, r, useQ1))
 			}
-			streamEnds[s] = e.eng.Now()
+			streamEnds[s] = e.rt.Now()
 		})
 	}
-	e.eng.Go("driver", func() {
+	e.rt.Go("driver", func() {
 		wg.Wait()
 		stopSampler.Fire()
 		if e.abm != nil {
 			e.abm.Stop()
 		}
 	})
-	e.eng.Run()
+	e.rt.Run()
 	return e.finish(streamEnds)
 }
 

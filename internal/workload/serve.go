@@ -30,6 +30,15 @@ type ServeConfig struct {
 	// SLO is the end-to-end latency objective (default 250ms of virtual
 	// time; <0 disables).
 	SLO sim.Duration
+	// ClosedLoop switches the client streams from open-loop to
+	// closed-loop issue: each stream still draws the same think-time and
+	// query-shape sequence from its rng (the workload is identical), but
+	// waits for its query to complete before drawing the next, so an
+	// overloaded system slows its own offered load down. Comparing the
+	// two disciplines on the same mix is the classic coordinated-omission
+	// illustration: closed-loop latencies hide the queueing delay that
+	// open-loop clients experience. See RunCompare.
+	ClosedLoop bool
 }
 
 // DefaultServeConfig returns serving defaults: 64 streams of 4 queries
@@ -84,22 +93,22 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 	build := e.builder(db)
 	n := db.Snapshot("lineitem").NumTuples()
 
-	sch := sched.New(e.eng, sched.Config{
+	sch := sched.New(e.rt, sched.Config{
 		MPL:        cfg.MPL,
 		QueueDepth: cfg.QueueDepth,
 		SLO:        cfg.SLO,
 	})
 
-	wg := e.eng.NewWaitGroup()
+	wg := e.rt.NewWaitGroup()
 	stopSampler := e.sharingSampler()
 	for s := 0; s < cfg.Streams; s++ {
 		s := s
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(s)*6271))
 		wg.Add(1)
-		e.eng.Go("client", func() {
+		e.rt.Go("client", func() {
 			defer wg.Done()
 			for q := 0; q < cfg.QueriesPerStream; q++ {
-				e.eng.Sleep(sched.ExpInterarrival(rng, cfg.ArrivalRate))
+				e.rt.Sleep(sched.ExpInterarrival(rng, cfg.ArrivalRate))
 				// Sample the query's shape in the generator, in a fixed
 				// per-stream order, so the workload is identical across
 				// policies and runs regardless of execution interleaving.
@@ -107,8 +116,19 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 				r := randRange(rng, n, pct)
 				useQ1 := rng.Intn(2) == 0
 				q := q
+				if cfg.ClosedLoop {
+					// Closed loop: the stream itself runs the query and only
+					// then loops to draw the next think time.
+					tk, ok := sch.Admit(s, q)
+					if !ok {
+						continue
+					}
+					exec.Drain(e.microPlan(db, build, r, useQ1))
+					tk.Done()
+					continue
+				}
 				wg.Add(1)
-				e.eng.Go("query", func() {
+				e.rt.Go("query", func() {
 					defer wg.Done()
 					tk, ok := sch.Admit(s, q)
 					if !ok {
@@ -121,15 +141,37 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 		})
 	}
 	res := &ServeResult{}
-	e.eng.Go("driver", func() {
+	e.rt.Go("driver", func() {
 		wg.Wait()
 		stopSampler.Fire()
 		if e.abm != nil {
 			e.abm.Stop()
 		}
-		res.Sched = sch.Stats(e.eng.Now())
+		res.Sched = sch.Stats(e.rt.Now())
 	})
-	e.eng.Run()
+	e.rt.Run()
 	res.Result = *e.finish(nil)
 	return res
+}
+
+// CompareResult pairs an open-loop and a closed-loop run of the same
+// query mix on the same engine configuration.
+type CompareResult struct {
+	Open   *ServeResult
+	Closed *ServeResult
+}
+
+// RunCompare executes the same serving mix twice — open loop (Poisson
+// arrivals regardless of completions) and closed loop (each stream waits
+// for its query before issuing the next) — and returns both reports. The
+// two runs draw identical think-time and query-shape sequences; only the
+// arrival discipline differs, so the latency gap between the reports is
+// exactly the queueing delay that closed-loop measurement omits
+// (coordinated omission).
+func RunCompare(db *tpch.DB, cfg ServeConfig) *CompareResult {
+	open := cfg
+	open.ClosedLoop = false
+	closed := cfg
+	closed.ClosedLoop = true
+	return &CompareResult{Open: RunServe(db, open), Closed: RunServe(db, closed)}
 }

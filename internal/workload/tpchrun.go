@@ -59,13 +59,13 @@ func RunTPCH(db *tpch.DB, cfg Config) *Result {
 	plans := tpch.Queries()
 
 	streamEnds := make([]sim.Time, cfg.Streams)
-	wg := e.eng.NewWaitGroup()
+	wg := e.rt.NewWaitGroup()
 	stopSampler := e.sharingSampler()
 	for s := 0; s < cfg.Streams; s++ {
 		s := s
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(s)*104729))
 		wg.Add(1)
-		e.eng.Go("stream", func() {
+		e.rt.Go("stream", func() {
 			defer wg.Done()
 			perm := rng.Perm(len(plans))
 			limit := len(perm)
@@ -75,16 +75,16 @@ func RunTPCH(db *tpch.DB, cfg Config) *Result {
 			for _, qi := range perm[:limit] {
 				exec.Drain(plans[qi](db, build))
 			}
-			streamEnds[s] = e.eng.Now()
+			streamEnds[s] = e.rt.Now()
 		})
 	}
-	e.eng.Go("driver", func() {
+	e.rt.Go("driver", func() {
 		wg.Wait()
 		stopSampler.Fire()
 		if e.abm != nil {
 			e.abm.Stop()
 		}
 	})
-	e.eng.Run()
+	e.rt.Run()
 	return e.finish(streamEnds)
 }

@@ -7,6 +7,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/abm"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/iosim"
 	"repro/internal/opt"
 	"repro/internal/pbm"
+	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/tpch"
 	"repro/internal/trace"
@@ -89,6 +91,12 @@ type Config struct {
 	// single-pool baseline the paper's figures are reproduced with. The
 	// serving driver defaults to buffer.DefaultShards instead.
 	PoolShards int
+	// Real selects the real-threaded wall-clock runtime instead of the
+	// deterministic simulator: streams run as goroutines, the disk model
+	// prices reads in real sleeps, and XChg fans out on a worker pool of
+	// Cores workers. Results are NOT reproducible run-to-run; figures and
+	// regression tests stay on the simulator.
+	Real bool
 }
 
 // DefaultMicroConfig returns §4.1's defaults: 8 streams, 16-query
@@ -152,10 +160,11 @@ func (r *Result) OPTIOBytes() int64 {
 	return opt.Simulate(r.Trace, r.BufferBytes).BytesLoaded
 }
 
-// env wires one simulation instance for a config.
+// env wires one engine instance for a config, on the simulated or the
+// real-threaded runtime.
 type env struct {
 	cfg    Config
-	eng    *sim.Engine
+	rt     rt.Runtime
 	disk   *iosim.Disk
 	pool   *buffer.Pool
 	pbm    *pbm.Group
@@ -166,8 +175,13 @@ type env struct {
 }
 
 func newEnv(cfg Config, accessedBytes int64) *env {
-	e := &env{cfg: cfg, eng: sim.NewEngine(), result: &Result{Policy: cfg.Policy.String()}}
-	e.disk = iosim.New(e.eng, iosim.Config{
+	e := &env{cfg: cfg, result: &Result{Policy: cfg.Policy.String()}}
+	if cfg.Real {
+		e.rt = rt.NewReal()
+	} else {
+		e.rt = rt.Sim(sim.NewEngine())
+	}
+	e.disk = iosim.New(e.rt, iosim.Config{
 		Bandwidth:   cfg.BandwidthMB * 1e6,
 		SeekLatency: 50 * time.Microsecond,
 	})
@@ -179,14 +193,17 @@ func newEnv(cfg Config, accessedBytes int64) *env {
 	e.result.AccessedBytes = accessedBytes
 
 	e.ctx = &exec.Ctx{
-		Eng:             e.eng,
-		CPU:             exec.NewCPU(e.eng, cfg.Cores),
+		RT:              e.rt,
+		CPU:             exec.NewCPU(e.rt, cfg.Cores),
 		PerTupleCPU:     cfg.PerTupleCPU,
 		ReadAheadTuples: 8192,
 	}
+	if cfg.Real {
+		e.ctx.Workers = rt.NewWorkerPool(e.rt, cfg.Cores)
+	}
 	switch cfg.Policy {
 	case CScan:
-		e.abm = abm.New(e.eng, e.disk, abm.Config{
+		e.abm = abm.New(e.rt, e.disk, abm.Config{
 			ChunkTuples: cfg.ChunkTuples,
 			Capacity:    capBytes,
 		})
@@ -210,7 +227,7 @@ func newEnv(cfg Config, accessedBytes int64) *env {
 			pc.NumGroups = 12
 			pc.DefaultSpeed = 1e8
 			pc.LRUMode = cfg.Policy == PBMLRU
-			g := pbm.NewGroup(e.eng, pc, shards)
+			g := pbm.NewGroup(e.rt, pc, shards)
 			if cfg.Throttle {
 				tc := pbm.DefaultThrottleConfig()
 				tc.Enabled = true
@@ -219,7 +236,7 @@ func newEnv(cfg Config, accessedBytes int64) *env {
 			e.pbm = g
 			factory = g.PolicyFactory()
 		}
-		e.pool = buffer.NewShardedPool(e.eng, e.disk, factory, capBytes, shards)
+		e.pool = buffer.NewShardedPool(e.rt, e.disk, factory, capBytes, shards)
 		e.ctx.Pool = e.pool
 		if e.pbm != nil {
 			// Assign only when non-nil: Ctx.PBM is an interface, and a
@@ -291,36 +308,36 @@ func (e *env) finish(streamEnds []sim.Time) *Result {
 
 // sharingSampler starts the Figure 17/18 sampler process; stop it by
 // firing the returned event after the streams complete.
-func (e *env) sharingSampler() *sim.Event {
-	stop := e.eng.NewEvent()
+func (e *env) sharingSampler() rt.Event {
+	stop := e.rt.NewEvent()
 	if e.cfg.SharingSampler <= 0 || e.pbm == nil {
 		return stop
 	}
-	done := false
+	var done atomic.Bool
 	sample := func() {
 		counts := e.pbm.SharingVolumes()
 		var s SharingSample
-		s.T = e.eng.Now()
+		s.T = e.rt.Now()
 		s.Bytes[0] = counts[1]
 		s.Bytes[1] = counts[2]
 		s.Bytes[2] = counts[3]
 		s.Bytes[3] = counts[4]
 		e.result.Sharing = append(e.result.Sharing, s)
 	}
-	e.eng.Go("sharing-sampler", func() {
-		e.eng.Go("sharing-stop", func() {
+	e.rt.Go("sharing-sampler", func() {
+		e.rt.Go("sharing-stop", func() {
 			stop.Wait()
-			done = true
+			done.Store(true)
 		})
 		// An early sample catches short runs that finish within the
 		// first full interval.
-		e.eng.Sleep(e.cfg.SharingSampler / 10)
-		if !done {
+		e.rt.Sleep(e.cfg.SharingSampler / 10)
+		if !done.Load() {
 			sample()
 		}
-		for !done {
-			e.eng.Sleep(e.cfg.SharingSampler)
-			if done {
+		for !done.Load() {
+			e.rt.Sleep(e.cfg.SharingSampler)
+			if done.Load() {
 				break
 			}
 			sample()

@@ -23,6 +23,7 @@ import (
 	"repro/internal/iosim"
 	"repro/internal/pbm"
 	"repro/internal/pdt"
+	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/tpch"
@@ -121,16 +122,26 @@ type SystemConfig struct {
 	// under CScan, whose ABM replaces the pool). A 1-shard pool is
 	// bit-identical to the historical unsharded buffer manager.
 	PoolShards int
+	// Real runs the system on the real-threaded wall-clock runtime
+	// instead of the deterministic simulator: Go spawns goroutines,
+	// sleeps and modeled disk time are wall time, and runs are not
+	// reproducible. Eng is nil in this mode; use RT.
+	Real bool
 }
 
 // DefaultPoolShards is the default shard count of a System's buffer pool.
 const DefaultPoolShards = buffer.DefaultShards
 
-// System is a fully wired simulated instance: virtual clock, disk, buffer
-// manager (traditional or ABM), and an execution context. Create scans
-// and operators against Ctx, and drive everything inside Run.
+// System is a fully wired engine instance: clock, disk, buffer manager
+// (traditional or ABM), and an execution context. Create scans and
+// operators against Ctx, and drive everything inside Run. By default the
+// system runs on the deterministic simulator (Eng is its virtual-clock
+// engine); with SystemConfig.Real it runs on real threads and Eng is nil.
 type System struct {
-	Eng     *sim.Engine
+	// RT is the runtime everything is wired to: the simulator adapter or
+	// the real-threaded runtime.
+	RT      rt.Runtime
+	Eng     *sim.Engine // the simulation engine; nil under SystemConfig.Real
 	Disk    *iosim.Disk
 	Pool    *buffer.Pool // nil under CScan
 	PBM     *pbm.Group   // non-nil under PBM/PBMLRU: one instance per pool shard
@@ -156,20 +167,29 @@ func NewSystem(cfg SystemConfig) *System {
 	if cfg.PoolShards <= 0 {
 		cfg.PoolShards = DefaultPoolShards
 	}
-	s := &System{Eng: sim.NewEngine(), Catalog: storage.NewCatalog()}
-	s.Disk = iosim.New(s.Eng, iosim.Config{
+	s := &System{Catalog: storage.NewCatalog()}
+	if cfg.Real {
+		s.RT = rt.NewReal()
+	} else {
+		s.Eng = sim.NewEngine()
+		s.RT = rt.Sim(s.Eng)
+	}
+	s.Disk = iosim.New(s.RT, iosim.Config{
 		Bandwidth:   cfg.BandwidthMB * 1e6,
 		SeekLatency: 50 * time.Microsecond,
 	})
 	s.Ctx = &exec.Ctx{
-		Eng:             s.Eng,
-		CPU:             exec.NewCPU(s.Eng, cfg.Cores),
+		RT:              s.RT,
+		CPU:             exec.NewCPU(s.RT, cfg.Cores),
 		PerTupleCPU:     cfg.PerTupleCPU,
 		ReadAheadTuples: 16384,
 	}
+	if cfg.Real {
+		s.Ctx.Workers = rt.NewWorkerPool(s.RT, cfg.Cores)
+	}
 	switch cfg.Policy {
 	case CScan:
-		s.ABM = abm.New(s.Eng, s.Disk, abm.Config{
+		s.ABM = abm.New(s.RT, s.Disk, abm.Config{
 			ChunkTuples: cfg.ChunkTuples,
 			Capacity:    cfg.BufferBytes,
 		})
@@ -184,13 +204,13 @@ func NewSystem(cfg SystemConfig) *System {
 		case PBM, PBMLRU:
 			pc := pbm.DefaultConfig()
 			pc.LRUMode = cfg.Policy == PBMLRU
-			g := pbm.NewGroup(s.Eng, pc, cfg.PoolShards)
+			g := pbm.NewGroup(s.RT, pc, cfg.PoolShards)
 			s.PBM = g
 			factory = g.PolicyFactory()
 		default:
 			factory = buffer.FactoryOf("LRU")
 		}
-		s.Pool = buffer.NewShardedPool(s.Eng, s.Disk, factory, cfg.BufferBytes, cfg.PoolShards)
+		s.Pool = buffer.NewShardedPool(s.RT, s.Disk, factory, cfg.BufferBytes, cfg.PoolShards)
 		s.Ctx.Pool = s.Pool
 		if s.PBM != nil {
 			// Guarded: Ctx.PBM is an interface and a typed-nil *Group
@@ -201,27 +221,27 @@ func NewSystem(cfg SystemConfig) *System {
 	return s
 }
 
-// WaitGroup is a virtual-time wait group for coordinating simulated
-// processes.
-type WaitGroup = sim.WaitGroup
+// WaitGroup coordinates concurrent processes on the system's runtime
+// (virtual-time in sim mode, a sync.WaitGroup in real mode).
+type WaitGroup = rt.WaitGroup
 
-// NewWaitGroup creates a wait group bound to the system's clock.
-func (s *System) NewWaitGroup() *WaitGroup { return s.Eng.NewWaitGroup() }
+// NewWaitGroup creates a wait group bound to the system's runtime.
+func (s *System) NewWaitGroup() WaitGroup { return s.RT.NewWaitGroup() }
 
-// Go spawns fn as a concurrent simulated process (a query stream, a
-// background job). Call before or during Run.
-func (s *System) Go(name string, fn func()) { s.Eng.Go(name, fn) }
+// Go spawns fn as a concurrent process (a query stream, a background
+// job). Call before or during Run.
+func (s *System) Go(name string, fn func()) { s.RT.Go(name, fn) }
 
-// Run executes main as the root simulated process and drives the virtual
-// clock until every process finishes. Blocks the calling goroutine.
+// Run executes main as the root process and drives the runtime until
+// every process finishes. Blocks the calling goroutine.
 func (s *System) Run(main func()) {
-	s.Eng.Go("main", func() {
+	s.RT.Go("main", func() {
 		main()
 		if s.ABM != nil {
 			s.ABM.Stop()
 		}
 	})
-	s.Eng.Run()
+	s.RT.Run()
 }
 
 // NewScan builds the policy-appropriate scan operator over a snapshot:
@@ -244,5 +264,6 @@ func (s *System) NewScan(snap *Snapshot, cols []int, ranges []RIDRange, deltas *
 // IOBytes reports the total bytes read from the simulated disk so far.
 func (s *System) IOBytes() int64 { return s.Disk.Stats().BytesRead }
 
-// Now reports the current virtual time.
-func (s *System) Now() time.Duration { return time.Duration(s.Eng.Now()) }
+// Now reports the current time on the system's clock (virtual in sim
+// mode, wall time since startup in real mode).
+func (s *System) Now() time.Duration { return time.Duration(s.RT.Now()) }

@@ -31,9 +31,9 @@ type (
 )
 
 // NewScheduler creates an admission scheduler bound to the system's
-// virtual clock, for custom serving simulations built on System.
+// runtime, for custom serving scenarios built on System.
 func (s *System) NewScheduler(cfg SchedConfig) *Scheduler {
-	return sched.New(s.Eng, cfg)
+	return sched.New(s.RT, cfg)
 }
 
 // DefaultServeConfig re-exports the serving defaults: 64 streams,
@@ -65,6 +65,10 @@ type ServeOptions struct {
 	QueueDepth int
 	// SLO is the latency objective (0 => 250 ms).
 	SLO time.Duration
+	// Real runs every cell on the real-threaded runtime (goroutines and
+	// wall-clock time) instead of the deterministic simulator. Latencies
+	// are then real milliseconds and runs are not reproducible.
+	Real bool
 }
 
 // DefaultServeOptions returns the serving-sweep defaults.
@@ -145,6 +149,7 @@ func ServeSweep(o ServeOptions) []ServeRow {
 				for _, shards := range shardAxis {
 					cfg := DefaultServeConfig()
 					cfg.Config = o.apply(cfg.Config)
+					cfg.Config.Real = o.Real
 					cfg.Policy = pol
 					cfg.ArrivalRate = rate
 					cfg.MPL = mpl
@@ -177,3 +182,94 @@ func ServeSweep(o ServeOptions) []ServeRow {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// CompareOptions parameterizes the closed-vs-open-loop comparison
+// (cmd/scanbench -compare): one (rate, MPL, policy) point run twice over
+// the identical query mix, once with open-loop Poisson arrivals and once
+// closed-loop (each stream waits for completion before its next query).
+type CompareOptions struct {
+	Options
+	// Rate is the per-stream arrival (open) / think (closed) rate in
+	// queries per virtual second. The default of 20 overloads the default
+	// scale, where the disciplines diverge most visibly.
+	Rate float64
+	// MPL is the scheduler concurrency limit (default 8).
+	MPL int
+	// Policy is the buffer-management policy (default PBM).
+	Policy Policy
+	// Shards is the buffer-pool shard count (default 8).
+	Shards int
+	// QueueDepth bounds the admission queue (0 => default 64, negative
+	// => unbounded).
+	QueueDepth int
+	// SLO is the latency objective (0 => 250 ms).
+	SLO time.Duration
+	// Real runs both loops on the real-threaded runtime.
+	Real bool
+}
+
+// DefaultCompareOptions returns the comparison defaults.
+func DefaultCompareOptions() CompareOptions {
+	return CompareOptions{Options: DefaultOptions(), Rate: 20, MPL: 8, Policy: PBM, Shards: DefaultPoolShards}
+}
+
+// CompareReport is the result of one closed-vs-open-loop comparison: the
+// same sweep row shape for both disciplines, plus the latency gap the
+// closed-loop measurement omits (coordinated omission).
+type CompareReport struct {
+	Open, Closed ServeRow
+	// GapP50ms/GapP95ms/GapP99ms are open minus closed latency at each
+	// percentile, in virtual ms: the queueing delay a closed-loop
+	// benchmark hides from its latency report.
+	GapP50ms, GapP95ms, GapP99ms float64
+}
+
+// Compare runs the closed-vs-open-loop comparison at one configuration.
+func Compare(o CompareOptions) CompareReport {
+	d := DefaultCompareOptions()
+	o.Options = o.Options.fill()
+	if o.Rate <= 0 {
+		o.Rate = d.Rate
+	}
+	if o.MPL <= 0 {
+		o.MPL = d.MPL
+	}
+	if o.Shards <= 0 {
+		o.Shards = d.Shards
+	}
+	db := GenerateTPCH(o.SF, o.Seed)
+	cfg := DefaultServeConfig()
+	cfg.Config = o.apply(cfg.Config)
+	cfg.Config.Real = o.Real
+	cfg.Policy = o.Policy
+	cfg.PoolShards = o.Shards
+	cfg.ArrivalRate = o.Rate
+	cfg.MPL = o.MPL
+	cfg.QueueDepth = o.QueueDepth
+	if o.SLO != 0 {
+		cfg.SLO = o.SLO
+	}
+	res := workload.RunCompare(db, cfg)
+	row := func(r *workload.ServeResult) ServeRow {
+		return ServeRow{
+			Rate:       o.Rate,
+			MPL:        o.MPL,
+			Policy:     o.Policy.String(),
+			Shards:     o.Shards,
+			Completed:  r.Sched.Completed,
+			Rejected:   r.Sched.Rejected,
+			Throughput: r.Sched.Throughput,
+			P50ms:      ms(r.Sched.Latency.P50),
+			P95ms:      ms(r.Sched.Latency.P95),
+			P99ms:      ms(r.Sched.Latency.P99),
+			QWaitP95ms: ms(r.Sched.QueueWait.P95),
+			SLOPct:     r.Sched.SLOAttainment * 100,
+			IOMB:       mb(r.TotalIOBytes),
+		}
+	}
+	rep := CompareReport{Open: row(res.Open), Closed: row(res.Closed)}
+	rep.GapP50ms = rep.Open.P50ms - rep.Closed.P50ms
+	rep.GapP95ms = rep.Open.P95ms - rep.Closed.P95ms
+	rep.GapP99ms = rep.Open.P99ms - rep.Closed.P99ms
+	return rep
+}
