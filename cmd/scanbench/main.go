@@ -15,9 +15,12 @@
 //
 // The -serve mode goes beyond the paper: it drives an open-loop,
 // many-client serving scenario — Poisson arrivals on N concurrent
-// streams, a bounded admission queue with a concurrency limit (MPL) —
-// and sweeps arrival rate x MPL x policy, reporting throughput, latency
-// percentiles (p50/p95/p99, queue-wait split), and SLO attainment.
+// streams mapped onto tenants, a bounded admission queue with a
+// concurrency limit (MPL) and a pluggable admission policy (-policies
+// fifo,sesf,wfq) — and sweeps arrival rate x MPL x buffer policy x pool
+// shards x admission policy, reporting throughput, latency percentiles
+// (p50/p95/p99, queue-wait split), and SLO attainment, overall and per
+// tenant.
 //
 // The -compare mode runs one serving configuration twice — open loop and
 // closed loop — over the identical query mix and prints the latency gap:
@@ -55,19 +58,28 @@ func main() {
 		cpu     = flag.Duration("cpu", 0, "override per-tuple CPU cost")
 		tsv     = flag.Bool("tsv", false, "emit tab-separated values")
 
-		serve   = flag.Bool("serve", false, "run the open-loop serving sweep (arrival rate x MPL x policy x pool shards)")
-		compare = flag.Bool("compare", false, "run the closed-vs-open-loop comparison at one serving configuration")
-		real    = flag.Bool("real", false, "run -serve/-compare on the real-threaded runtime (goroutines, wall-clock time) instead of the simulator")
-		rates   = flag.String("rates", "", "serve: comma-separated per-stream arrival rates in queries/s (default 1,5,20); -compare uses the first")
-		mpls    = flag.String("mpls", "", "serve: comma-separated MPL concurrency limits (default 8,32); -compare uses the first")
-		shards  = flag.String("shards", "", "buffer-pool shard counts: a comma-separated axis for -serve (default 1,8); the first value overrides the figure experiments' single pool")
-		queue   = flag.Int("queue", 0, "serve/compare: admission queue depth (0 = default 64, negative = unbounded)")
-		slo     = flag.Duration("slo", 0, "serve/compare: end-to-end latency SLO (default 250ms)")
+		serve    = flag.Bool("serve", false, "run the open-loop serving sweep (arrival rate x MPL x policy x pool shards x admission policy)")
+		compare  = flag.Bool("compare", false, "run the closed-vs-open-loop comparison at one serving configuration")
+		real     = flag.Bool("real", false, "run -serve/-compare on the real-threaded runtime (goroutines, wall-clock time) instead of the simulator")
+		rates    = flag.String("rates", "", "serve: comma-separated per-stream arrival rates in queries/s (default 1,5,20); -compare uses the first")
+		mpls     = flag.String("mpls", "", "serve: comma-separated MPL concurrency limits (default 8,32); -compare uses the first")
+		shards   = flag.String("shards", "", "buffer-pool shard counts: a comma-separated axis for -serve (default 1,8); the first value overrides the figure experiments' single pool")
+		policies = flag.String("policies", "", "serve: comma-separated admission policies (fifo, sesf, wfq; default fifo); -compare uses the first")
+		tenants  = flag.Int("tenants", 0, "serve/compare: number of tenants streams are mapped onto (default 4)")
+		weights  = flag.String("weights", "", "serve/compare: comma-separated per-tenant wfq weights, index = tenant id (default all 1)")
+		queue    = flag.Int("queue", 0, "serve/compare: admission queue depth (0 = default 64, negative = unbounded)")
+		slo      = flag.Duration("slo", 0, "serve/compare: end-to-end latency SLO (default 250ms)")
 	)
 	flag.Parse()
 	rateAxis := parseAxis("rates", *rates, parseFloat64)
 	mplAxis := parseAxis("mpls", *mpls, strconv.Atoi)
 	shardAxis := parseAxis("shards", *shards, strconv.Atoi)
+	weightAxis := parseAxis("weights", *weights, parseFloat64)
+	policyAxis := parseAdmissionPolicies(*policies)
+	if *tenants < 0 {
+		fmt.Fprintf(os.Stderr, "scanbench: -tenants: bad value %d: must be positive (0 = default)\n", *tenants)
+		os.Exit(2)
+	}
 	opts := scanshare.Options{
 		SF: *sf, Seed: *seed, Streams: *streams, QueriesPerStream: *queries,
 		ThreadsPerQuery: *threads, Cores: *cores, PerTupleCPU: *cpu,
@@ -99,6 +111,11 @@ func main() {
 		if len(shardAxis) > 0 {
 			co.Shards = shardAxis[0]
 		}
+		if len(policyAxis) > 0 {
+			co.Admission = policyAxis[0]
+		}
+		co.Tenants = *tenants
+		co.TenantWeights = weightAxis
 		co.QueueDepth = *queue
 		co.SLO = *slo
 		start := time.Now()
@@ -108,13 +125,16 @@ func main() {
 	}
 	if *serve {
 		so := scanshare.ServeOptions{
-			Options:    opts,
-			Rates:      rateAxis,
-			MPLs:       mplAxis,
-			Shards:     shardAxis,
-			QueueDepth: *queue,
-			SLO:        *slo,
-			Real:       *real,
+			Options:           opts,
+			Rates:             rateAxis,
+			MPLs:              mplAxis,
+			Shards:            shardAxis,
+			AdmissionPolicies: policyAxis,
+			Tenants:           *tenants,
+			TenantWeights:     weightAxis,
+			QueueDepth:        *queue,
+			SLO:               *slo,
+			Real:              *real,
 		}
 		// The per-run override must not fight the sweep's own shard axis.
 		so.Options.PoolShards = 0
@@ -127,8 +147,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scanbench: -real applies only to -serve/-compare; the figure targets are defined by the deterministic simulation")
 		os.Exit(2)
 	}
-	if len(rateAxis) > 0 || len(mplAxis) > 0 {
-		fmt.Fprintln(os.Stderr, "scanbench: -rates/-mpls apply only to -serve/-compare")
+	if len(rateAxis) > 0 || len(mplAxis) > 0 || len(policyAxis) > 0 || len(weightAxis) > 0 || *tenants != 0 {
+		fmt.Fprintln(os.Stderr, "scanbench: -rates/-mpls/-policies/-weights/-tenants apply only to -serve/-compare")
 		os.Exit(2)
 	}
 	if flag.NArg() < 1 {
@@ -269,10 +289,11 @@ func printAblation(rows []scanshare.AblationRow, tsv bool) {
 }
 
 // printServe renders the serving sweep: one row per (rate, MPL, policy,
-// pool shards) cell with throughput, latency percentiles, and SLO
-// attainment; shard counts of the same cell print adjacent so the
-// sharding effect reads off directly. CScan rows print "-" for shards
-// (the ABM replaces the page pool).
+// pool shards, admission policy) cell with throughput, latency
+// percentiles, SLO attainment, and the per-tenant p95/SLO breakdown;
+// shard counts and admission policies of the same cell print adjacent so
+// both effects read off directly. CScan rows print "-" for shards (the
+// ABM replaces the page pool).
 func printServe(rows []scanshare.ServeRow, real, tsv bool) {
 	fmt.Printf("== Serving sweep: open-loop arrivals, admission control, sharded pool (latencies in %s ms) ==\n", clockName(real))
 	shardCol := func(r scanshare.ServeRow) string {
@@ -282,22 +303,37 @@ func printServe(rows []scanshare.ServeRow, real, tsv bool) {
 		return strconv.Itoa(r.Shards)
 	}
 	if tsv {
-		fmt.Printf("rate_qps\tmpl\tpolicy\tpool_shards\tcompleted\trejected\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\tio_mb\n")
+		fmt.Printf("rate_qps\tmpl\tpolicy\tadmission\tpool_shards\tcompleted\trejected\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\ttenant_p95_ms\ttenant_slo_pct\tio_mb\n")
 		for _, r := range rows {
-			fmt.Printf("%g\t%d\t%s\t%s\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%.1f\n",
-				r.Rate, r.MPL, r.Policy, shardCol(r), r.Completed, r.Rejected, r.Throughput,
-				r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct, r.IOMB)
+			fmt.Printf("%g\t%d\t%s\t%s\t%s\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%s\t%s\t%.1f\n",
+				r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Completed, r.Rejected, r.Throughput,
+				r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct,
+				joinFloats(r.TenantP95ms, "%.3f"), joinFloats(r.TenantSLOPct, "%.1f"), r.IOMB)
 		}
 		return
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "rate/stream\tMPL\tpolicy\tshards\tdone\trej\tthru (q/s)\tp50\tp95\tp99\tqwait p95\tSLO %\tI/O MB")
+	fmt.Fprintln(w, "rate/stream\tMPL\tpolicy\tadmit\tshards\tdone\trej\tthru (q/s)\tp50\tp95\tp99\tqwait p95\tSLO %\tp95/tenant\tSLO %/tenant\tI/O MB")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%d\t%d\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%.1f\n",
-			r.Rate, r.MPL, r.Policy, shardCol(r), r.Completed, r.Rejected, r.Throughput,
-			r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct, r.IOMB)
+		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%s\t%d\t%d\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%s\t%s\t%.1f\n",
+			r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Completed, r.Rejected, r.Throughput,
+			r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct,
+			joinFloats(r.TenantP95ms, "%.2f"), joinFloats(r.TenantSLOPct, "%.0f"), r.IOMB)
 	}
 	w.Flush()
+}
+
+// joinFloats renders one compact comma-joined cell (index = tenant id)
+// for the per-tenant table columns.
+func joinFloats(vs []float64, format string) string {
+	if len(vs) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf(format, v)
+	}
+	return strings.Join(parts, ",")
 }
 
 func clockName(real bool) string {
@@ -313,17 +349,17 @@ func clockName(real bool) string {
 func printCompare(rep scanshare.CompareReport, real, tsv bool) {
 	fmt.Printf("== Closed vs open loop: same query mix, same engine, two arrival disciplines (latencies in %s ms) ==\n", clockName(real))
 	if tsv {
-		fmt.Printf("loop\trate_qps\tmpl\tpolicy\tpool_shards\tcompleted\trejected\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\tio_mb\n")
+		fmt.Printf("loop\trate_qps\tmpl\tpolicy\tadmission\tpool_shards\tcompleted\trejected\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\tio_mb\n")
 		for _, e := range []struct {
 			name string
 			r    scanshare.ServeRow
 		}{{"open", rep.Open}, {"closed", rep.Closed}} {
-			fmt.Printf("%s\t%g\t%d\t%s\t%d\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%.1f\n",
-				e.name, e.r.Rate, e.r.MPL, e.r.Policy, e.r.Shards, e.r.Completed, e.r.Rejected,
+			fmt.Printf("%s\t%g\t%d\t%s\t%s\t%d\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%.1f\n",
+				e.name, e.r.Rate, e.r.MPL, e.r.Policy, e.r.Admission, e.r.Shards, e.r.Completed, e.r.Rejected,
 				e.r.Throughput, e.r.P50ms, e.r.P95ms, e.r.P99ms, e.r.QWaitP95ms, e.r.SLOPct, e.r.IOMB)
 		}
-		fmt.Printf("gap\t%g\t%d\t%s\t%d\t-\t-\t-\t%.3f\t%.3f\t%.3f\t-\t-\t-\n",
-			rep.Open.Rate, rep.Open.MPL, rep.Open.Policy, rep.Open.Shards,
+		fmt.Printf("gap\t%g\t%d\t%s\t%s\t%d\t-\t-\t-\t%.3f\t%.3f\t%.3f\t-\t-\t-\n",
+			rep.Open.Rate, rep.Open.MPL, rep.Open.Policy, rep.Open.Admission, rep.Open.Shards,
 			rep.GapP50ms, rep.GapP95ms, rep.GapP99ms)
 		return
 	}
@@ -371,6 +407,32 @@ func parseAxis[T int | float64](name, s string, parse func(string) (T, error)) [
 // parseFloat64 adapts strconv.ParseFloat to parseAxis's single-argument
 // shape.
 func parseFloat64(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+// parseAdmissionPolicies parses the -policies axis, validating every
+// name against the registered admission policies so a typo fails with
+// the valid menu instead of panicking mid-sweep. Empty input yields nil
+// (the sweep defaults to fifo).
+func parseAdmissionPolicies(s string) []string {
+	if s == "" {
+		return nil
+	}
+	valid := scanshare.AdmissionPolicyNames()
+	known := map[string]bool{}
+	for _, name := range valid {
+		known[name] = true
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		name := strings.TrimSpace(f)
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "scanbench: -policies: unknown admission policy %q (registered: %s)\n",
+				name, strings.Join(valid, ", "))
+			os.Exit(2)
+		}
+		out = append(out, name)
+	}
+	return out
+}
 
 // bar renders a tiny stacked area impression: one char per ~sixteenth of
 // the max volume, '.'=1 scan, '+'=2-3 scans, '#'=4+.

@@ -117,6 +117,17 @@ func (g *Group) ShouldThrottle(id ScanID) bool {
 // members, which see the same progress reports).
 func (g *Group) ScanSpeed(id ScanID) float64 { return g.members[0].ScanSpeed(id) }
 
+// AvgScanSpeed reports the mean observed scan speed (identical across
+// members, which see the same progress reports).
+func (g *Group) AvgScanSpeed() float64 { return g.members[0].AvgScanSpeed() }
+
+// EstimateScanTime is the admission cost hook (exec.ScanCostModel),
+// delegated to member 0: all members agree on scan state, so the group
+// prices a scan exactly as a single unsharded PBM would.
+func (g *Group) EstimateScanTime(tuples int64) sim.Duration {
+	return g.members[0].EstimateScanTime(tuples)
+}
+
 // SharingVolumes returns the Figure 17/18 sharing histogram. Scan claims
 // are mirrored in every member, so member 0 has the full picture for
 // k >= 1; only the k = 0 bucket (pages wanted by no scan) is shard-local

@@ -680,6 +680,43 @@ func (p *PBM) ScanSpeed(id ScanID) float64 {
 	return 0
 }
 
+// AvgScanSpeed reports the mean observed speed of the currently
+// registered scans in tuples/second, falling back to the configured
+// DefaultSpeed while no scan has a speed estimate yet. Scans are summed
+// in id order so the float result is identical run-to-run.
+func (p *PBM) AvgScanSpeed() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]ScanID, 0, len(p.scans))
+	for id, st := range p.scans {
+		if st.speed > 0 {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return p.cfg.DefaultSpeed
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var sum float64
+	for _, id := range ids {
+		sum += p.scans[id].speed
+	}
+	return sum / float64(len(ids))
+}
+
+// EstimateScanTime is the admission cost hook (exec.ScanCostModel): the
+// expected execution time of a fresh scan over tuples tuples, priced at
+// the average observed scan speed. It turns PBM's speed estimates — built
+// to predict page next-consumption times for eviction — into the
+// per-query expected-work signal a shortest-expected-scan-first admission
+// policy orders by.
+func (p *PBM) EstimateScanTime(tuples int64) sim.Duration {
+	if tuples <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(tuples) / p.AvgScanSpeed() * 1e9)
+}
+
 // BucketSizes returns the number of pages in each requested bucket plus
 // the not-requested bucket at the end (for tests and introspection).
 func (p *PBM) BucketSizes() []int {

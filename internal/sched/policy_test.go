@@ -1,0 +1,277 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/rt"
+	"repro/internal/sim"
+)
+
+func TestPolicyRegistry(t *testing.T) {
+	names := PolicyNames()
+	want := map[string]bool{"fifo": true, "sesf": true, "wfq": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("built-in policies missing from %v", names)
+	}
+	for _, n := range []string{"fifo", "sesf", "wfq"} {
+		pol, ok := NewPolicy(n, PolicyConfig{})
+		if !ok {
+			t.Fatalf("NewPolicy(%q) unknown", n)
+		}
+		if pol.Name() != n {
+			t.Fatalf("policy %q reports name %q", n, pol.Name())
+		}
+	}
+	if _, ok := NewPolicy("nope", PolicyConfig{}); ok {
+		t.Fatal("unknown policy constructed")
+	}
+}
+
+func TestRegisterPolicyValidates(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil constructor", func() { RegisterPolicy("broken", nil) })
+	mustPanic("duplicate name", func() {
+		RegisterPolicy("fifo", func(PolicyConfig) AdmissionPolicy { return &fifoPolicy{} })
+	})
+}
+
+func TestNewPanicsOnUnknownPolicy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with unknown policy did not panic")
+		}
+	}()
+	New(rt.Sim(sim.NewEngine()), Config{Policy: "nope"})
+}
+
+// admissionOrder drives queries through an MPL-1 scheduler: the first
+// query occupies the slot while all the others enqueue simultaneously,
+// so the recorded order beyond the first element is exactly the policy's
+// pick sequence. Each query is described by (tenant, cost).
+func admissionOrder(t *testing.T, cfg Config, queries []Query) []int {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg.MPL = 1
+	cfg.QueueDepth = -1
+	sch := New(rt.Sim(eng), cfg)
+	var order []int
+	wg := eng.NewWaitGroup()
+	for i, q := range queries {
+		i, q := i, q
+		wg.Add(1)
+		eng.Go("q", func() {
+			defer wg.Done()
+			tk, ok := sch.AdmitQuery(q)
+			if !ok {
+				t.Errorf("query %d rejected with unbounded queue", i)
+				return
+			}
+			order = append(order, i)
+			eng.Sleep(time.Millisecond)
+			tk.Done()
+		})
+	}
+	eng.Go("driver", func() { wg.Wait() })
+	eng.Run()
+	return order
+}
+
+// SESF must admit queued queries in ascending stubbed-cost order,
+// breaking ties by arrival, regardless of arrival order.
+func TestSESFOrdersByExpectedCost(t *testing.T) {
+	queries := []Query{
+		{Seq: 0, Cost: 100}, // admitted immediately (MPL slot free)
+		{Seq: 1, Cost: 9},
+		{Seq: 2, Cost: 1},
+		{Seq: 3, Cost: 5},
+		{Seq: 4, Cost: 1}, // ties with #2; #2 arrived first
+		{Seq: 5, Cost: 3},
+	}
+	got := admissionOrder(t, Config{Policy: "sesf"}, queries)
+	want := []int{0, 2, 4, 5, 3, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sesf admission order %v, want %v", got, want)
+	}
+}
+
+// FIFO through the policy seam must stay pure arrival order even when
+// costs would say otherwise.
+func TestFIFOIgnoresCost(t *testing.T) {
+	queries := []Query{
+		{Seq: 0, Cost: 9},
+		{Seq: 1, Cost: 8},
+		{Seq: 2, Cost: 7},
+		{Seq: 3, Cost: 1},
+	}
+	got := admissionOrder(t, Config{Policy: "fifo"}, queries)
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("fifo admission order %v, want arrival order", got)
+	}
+}
+
+// WFQ under saturation must hand out admissions in proportion to tenant
+// weights: with weights 3:1 and both tenants permanently backlogged,
+// every consecutive window of 4 admissions serves tenant 0 three times.
+func TestWFQWeightedSharesUnderSaturation(t *testing.T) {
+	const perTenant = 40
+	var queries []Query
+	// Interleave arrivals so neither tenant's backlog orders the other's.
+	for i := 0; i < perTenant; i++ {
+		queries = append(queries,
+			Query{Stream: 0, Seq: i, Tenant: 0},
+			Query{Stream: 1, Seq: i, Tenant: 1},
+		)
+	}
+	order := admissionOrder(t, Config{
+		Policy:        "wfq",
+		TenantWeights: map[int]float64{0: 3, 1: 1},
+	}, queries)
+	// Count tenant-0 admissions in each window of 4 picks while both
+	// tenants are still backlogged (the first 4/8 of the queue drains
+	// tenant 0's 40 queries in 3:1 ratio windows).
+	tenantOf := func(idx int) int { return queries[idx].Tenant }
+	picks := order[1:] // order[0] is the immediately admitted slot holder
+	for w := 0; w+4 <= len(picks) && w < 40; w += 4 {
+		t0 := 0
+		for _, idx := range picks[w : w+4] {
+			if tenantOf(idx) == 0 {
+				t0++
+			}
+		}
+		if t0 != 3 {
+			t.Fatalf("window %d: tenant 0 got %d of 4 admissions, want 3 (order %v)", w/4, t0, picks[:w+4])
+		}
+	}
+	// Within one tenant, admission stays FIFO.
+	lastSeq := -1
+	for _, idx := range picks {
+		if tenantOf(idx) != 0 {
+			continue
+		}
+		if queries[idx].Seq <= lastSeq {
+			t.Fatalf("tenant 0 admitted out of order: seq %d after %d", queries[idx].Seq, lastSeq)
+		}
+		lastSeq = queries[idx].Seq
+	}
+}
+
+// Unweighted WFQ must alternate between equally backlogged tenants.
+func TestWFQEqualWeightsRoundRobin(t *testing.T) {
+	var queries []Query
+	// Tenant 0 floods first; tenant 1 trickles in after.
+	for i := 0; i < 8; i++ {
+		queries = append(queries, Query{Stream: 0, Seq: i, Tenant: 0})
+	}
+	for i := 0; i < 4; i++ {
+		queries = append(queries, Query{Stream: 1, Seq: i, Tenant: 1})
+	}
+	order := admissionOrder(t, Config{Policy: "wfq"}, queries)
+	picks := order[1:]
+	// While both tenants are backlogged, no tenant may be served twice in
+	// a row more than its weight allows: equal weights alternate.
+	t1Remaining := 4
+	streak := 0
+	for _, idx := range picks {
+		if t1Remaining == 0 {
+			break // only tenant 0 left; streaks are expected
+		}
+		if queries[idx].Tenant == 0 {
+			streak++
+			if streak > 2 {
+				t.Fatalf("tenant 0 served %d in a row against a backlogged equal-weight tenant (order %v)", streak, picks)
+			}
+		} else {
+			streak = 0
+			t1Remaining--
+		}
+	}
+}
+
+// A drained tenant must not bank credit for its idle period: after its
+// queue empties, its next query is tagged from the current virtual time,
+// not from its stale last tag.
+func TestWFQNoCreditForIdleTenant(t *testing.T) {
+	w := newWFQ(nil)
+	mk := func(tenant int, order int64) *Pending {
+		return &Pending{Tenant: tenant, Order: order}
+	}
+	// Tenant 0 enqueues once and is served; vtime advances to 1.
+	w.Enqueue(mk(0, 1))
+	if got := w.Next(); got.Tenant != 0 {
+		t.Fatalf("first pick tenant %d", got.Tenant)
+	}
+	// Tenant 1 builds a backlog; its tags chain 1+1=2, 2+1=3.
+	w.Enqueue(mk(1, 2))
+	w.Enqueue(mk(1, 3))
+	// Tenant 0 returns after idling: its tag must start from vtime (1),
+	// giving tag 2 — tied with tenant 1's head, broken by tenant id — not
+	// from its own stale tag 1 (which would unfairly jump the queue) nor
+	// accumulate arrears.
+	w.Enqueue(mk(0, 4))
+	if got := w.Next(); got.Tenant != 0 {
+		t.Fatalf("returning tenant pick = tenant %d, want 0 via tie-break at equal tags", got.Tenant)
+	}
+	if got := w.Next(); got.Tenant != 1 {
+		t.Fatalf("next pick tenant %d, want 1", got.Tenant)
+	}
+}
+
+func TestSchedulerPolicyName(t *testing.T) {
+	eng := sim.NewEngine()
+	if got := New(rt.Sim(eng), Config{}).Policy(); got != "fifo" {
+		t.Fatalf("default policy %q, want fifo", got)
+	}
+	if got := New(rt.Sim(eng), Config{Policy: "wfq"}).Policy(); got != "wfq" {
+		t.Fatalf("policy %q, want wfq", got)
+	}
+}
+
+// TenantStats must partition the completed queries by tenant, pad
+// configured-but-idle tenants with zeros, and respect the SLO.
+func TestTenantStats(t *testing.T) {
+	eng := sim.NewEngine()
+	sch := New(rt.Sim(eng), Config{MPL: 2, QueueDepth: -1, SLO: 15 * time.Millisecond})
+	wg := eng.NewWaitGroup()
+	// Tenant 0: two fast queries (10ms, meet SLO). Tenant 1: one slow
+	// query (20ms, misses).
+	for _, q := range []struct {
+		tenant int
+		d      sim.Duration
+	}{{0, 10 * time.Millisecond}, {0, 10 * time.Millisecond}, {1, 20 * time.Millisecond}} {
+		q := q
+		wg.Add(1)
+		eng.Go("q", func() {
+			defer wg.Done()
+			tk, _ := sch.AdmitQuery(Query{Tenant: q.tenant})
+			eng.Sleep(q.d)
+			tk.Done()
+		})
+	}
+	eng.Go("driver", func() { wg.Wait() })
+	eng.Run()
+	got := sch.TenantStats(3)
+	if len(got) != 3 {
+		t.Fatalf("tenant stats %+v, want 3 entries", got)
+	}
+	if got[0].Completed != 2 || got[0].SLOAttainment != 1 || got[0].P95 != 10*time.Millisecond {
+		t.Fatalf("tenant 0 stats %+v", got[0])
+	}
+	if got[1].Completed != 1 || got[1].SLOAttainment != 0 {
+		t.Fatalf("tenant 1 stats %+v", got[1])
+	}
+	if got[2].Completed != 0 || got[2].P95 != 0 {
+		t.Fatalf("idle tenant stats %+v", got[2])
+	}
+}

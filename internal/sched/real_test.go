@@ -54,6 +54,55 @@ func TestRealAdmitBoundsConcurrency(t *testing.T) {
 	}
 }
 
+// Every admission policy must stay mutex-correct on the real runtime:
+// concurrent AdmitQuery/Done with tenants and costs, full accounting,
+// no lost slots. Run with -race.
+func TestRealPoliciesConcurrentAdmission(t *testing.T) {
+	for _, pol := range []string{"fifo", "sesf", "wfq"} {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			r := rt.NewReal()
+			sch := New(r, Config{
+				MPL:           2,
+				QueueDepth:    -1,
+				Policy:        pol,
+				TenantWeights: map[int]float64{0: 3, 1: 1},
+			})
+			const queries = 48
+			for i := 0; i < queries; i++ {
+				i := i
+				r.Go("query", func() {
+					tk, ok := sch.AdmitQuery(Query{
+						Stream: i, Seq: 0, Tenant: i % 2,
+						Cost: float64(i%7) * 0.001,
+					})
+					if !ok {
+						t.Error("unbounded queue rejected an admission")
+						return
+					}
+					r.Sleep(100 * time.Microsecond)
+					tk.Done()
+				})
+			}
+			r.Run()
+			if t.Failed() {
+				return
+			}
+			st := sch.Stats(r.Now())
+			if st.Completed != queries || st.Rejected != 0 {
+				t.Fatalf("accounting: %+v", st)
+			}
+			var sum int64
+			for _, ts := range sch.TenantStats(2) {
+				sum += ts.Completed
+			}
+			if sum != queries {
+				t.Fatalf("per-tenant completions %d, want %d", sum, queries)
+			}
+		})
+	}
+}
+
 func TestRealAdmitRejectsWhenQueueFull(t *testing.T) {
 	r := rt.NewReal()
 	sch := New(r, Config{MPL: 1, QueueDepth: 2})

@@ -37,6 +37,14 @@ type Config struct {
 	// SLO is the end-to-end latency objective used for attainment
 	// accounting; zero disables SLO tracking.
 	SLO sim.Duration
+	// Policy names the admission-ordering policy (see RegisterPolicy):
+	// "fifo" (arrival order, the historical behavior), "sesf"
+	// (shortest-expected-scan-first by Query.Cost), or "wfq" (per-tenant
+	// weighted fair queueing). Empty means fifo.
+	Policy string
+	// TenantWeights assigns per-tenant fair-share weights to weighted
+	// policies; missing tenants weigh 1.
+	TenantWeights map[int]float64
 }
 
 // DefaultQueueDepth is the admission queue bound when Config.QueueDepth
@@ -50,13 +58,17 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth == 0 {
 		c.QueueDepth = DefaultQueueDepth
 	}
+	if c.Policy == "" {
+		c.Policy = "fifo"
+	}
 	return c
 }
 
 // QueryStat is the recorded life cycle of one completed query.
 type QueryStat struct {
-	// Stream and Seq identify the query within its client stream.
-	Stream, Seq int
+	// Stream and Seq identify the query within its client stream; Tenant
+	// is its fairness domain.
+	Stream, Seq, Tenant int
 	// Arrive, Admit and Finish are virtual timestamps: arrival at the
 	// scheduler, admission to execution, and completion.
 	Arrive, Admit, Finish sim.Time
@@ -71,22 +83,20 @@ func (q QueryStat) ExecTime() sim.Duration { return sim.Duration(q.Finish - q.Ad
 // Latency is the end-to-end latency (queue wait plus execution).
 func (q QueryStat) Latency() sim.Duration { return sim.Duration(q.Finish - q.Arrive) }
 
-// waiter is one query parked in the admission queue.
-type waiter struct {
-	ev rt.Event
-}
-
-// Scheduler admits queries under an MPL limit with a bounded FIFO queue.
-// All methods must be called from processes of the runtime the scheduler
-// is bound to. The instance mutex makes admission and completion atomic
-// on the real-threaded runtime; in sim mode it is uncontended.
+// Scheduler admits queries under an MPL limit through a bounded queue
+// whose ordering is delegated to a pluggable AdmissionPolicy. All
+// methods must be called from processes of the runtime the scheduler is
+// bound to. The instance mutex makes admission and completion atomic on
+// the real-threaded runtime; in sim mode it is uncontended. The policy
+// is only ever driven under that mutex.
 type Scheduler struct {
 	r   rt.Runtime
 	cfg Config
 
 	mu      sync.Mutex
 	running int
-	queue   []*waiter
+	policy  AdmissionPolicy
+	order   int64 // arrival sequence for deterministic tie-breaks
 
 	arrived   int64
 	rejected  int64
@@ -94,19 +104,46 @@ type Scheduler struct {
 	maxQueue  int
 }
 
-// New creates a scheduler bound to the runtime.
+// New creates a scheduler bound to the runtime. It panics on an
+// unregistered Config.Policy name; validate user input against
+// PolicyNames first.
 func New(r rt.Runtime, cfg Config) *Scheduler {
-	return &Scheduler{r: r, cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	pol, ok := NewPolicy(cfg.Policy, PolicyConfig{TenantWeights: cfg.TenantWeights})
+	if !ok {
+		panic(fmt.Sprintf("sched: unknown admission policy %q (registered: %v)", cfg.Policy, PolicyNames()))
+	}
+	return &Scheduler{r: r, cfg: cfg, policy: pol}
+}
+
+// Policy reports the name of the scheduler's admission policy.
+func (s *Scheduler) Policy() string { return s.policy.Name() }
+
+// UsesCost reports whether the admission policy consults Query.Cost;
+// drivers can skip pricing queries when it does not.
+func (s *Scheduler) UsesCost() bool { return s.policy.UsesCost() }
+
+// Query identifies and prices one admission request.
+type Query struct {
+	// Stream and Seq identify the query within its client stream.
+	Stream, Seq int
+	// Tenant is the query's fairness domain (wfq weights admissions per
+	// tenant; other policies treat it as a label for per-tenant stats).
+	Tenant int
+	// Cost is the query's expected work in seconds of expected execution
+	// time — the exec/pbm cost hook supplies it from table size and scan
+	// speed estimates. Only cost-aware policies (sesf) consult it.
+	Cost float64
 }
 
 // Ticket is the admission handle of a running query; call Done exactly
 // once when the query finishes.
 type Ticket struct {
-	s           *Scheduler
-	stream, seq int
-	arrive      sim.Time
-	admit       sim.Time
-	done        bool
+	s                   *Scheduler
+	stream, seq, tenant int
+	arrive              sim.Time
+	admit               sim.Time
+	done                bool
 }
 
 // Arrive reports when the ticket's query arrived at the scheduler.
@@ -115,35 +152,45 @@ func (t *Ticket) Arrive() sim.Time { return t.arrive }
 // Admit reports when the ticket's query was admitted to execution.
 func (t *Ticket) Admit() sim.Time { return t.admit }
 
-// Admit requests admission for a query identified as (stream, seq). It
-// blocks (in virtual time) while the MPL is saturated and the query sits
-// in the admission queue. It returns ok=false — without blocking — when
-// the queue is full and the query is rejected.
+// Admit requests admission for a query identified as (stream, seq), with
+// no tenant and no cost estimate. See AdmitQuery.
 func (s *Scheduler) Admit(stream, seq int) (*Ticket, bool) {
+	return s.AdmitQuery(Query{Stream: stream, Seq: seq})
+}
+
+// AdmitQuery requests admission for q. It blocks (in virtual time) while
+// the MPL is saturated and the query sits in the admission queue, to be
+// picked by the admission policy. It returns ok=false — without blocking
+// — when the queue is full and the query is rejected.
+func (s *Scheduler) AdmitQuery(q Query) (*Ticket, bool) {
 	s.mu.Lock()
 	s.arrived++
-	t := &Ticket{s: s, stream: stream, seq: seq, arrive: s.r.Now()}
+	t := &Ticket{s: s, stream: q.Stream, seq: q.Seq, tenant: q.Tenant, arrive: s.r.Now()}
 	if s.running < s.cfg.MPL {
 		s.running++
 		t.admit = t.arrive
 		s.mu.Unlock()
 		return t, true
 	}
-	if s.cfg.QueueDepth >= 0 && len(s.queue) >= s.cfg.QueueDepth {
+	if s.cfg.QueueDepth >= 0 && s.policy.Len() >= s.cfg.QueueDepth {
 		s.rejected++
 		s.mu.Unlock()
 		return nil, false
 	}
-	w := &waiter{ev: s.r.NewEvent()}
-	s.queue = append(s.queue, w)
-	if len(s.queue) > s.maxQueue {
-		s.maxQueue = len(s.queue)
+	s.order++
+	p := &Pending{
+		Stream: q.Stream, Seq: q.Seq, Tenant: q.Tenant,
+		Cost: q.Cost, Order: s.order, ev: s.r.NewEvent(),
 	}
-	// The releasing query transfers its MPL slot directly to the queue
-	// head before firing the event, so on wake-up the slot is ours.
+	s.policy.Enqueue(p)
+	if n := s.policy.Len(); n > s.maxQueue {
+		s.maxQueue = n
+	}
+	// The releasing query transfers its MPL slot directly to the policy's
+	// pick before firing the event, so on wake-up the slot is ours.
 	// Interest is registered before the mutex is dropped, so a transfer
 	// racing the block cannot be lost.
-	waitSlot := w.ev.Waiter()
+	waitSlot := p.ev.Waiter()
 	s.mu.Unlock()
 	waitSlot.Wait()
 	t.admit = s.r.Now()
@@ -151,7 +198,7 @@ func (s *Scheduler) Admit(stream, seq int) (*Ticket, bool) {
 }
 
 // Done releases the query's MPL slot, recording its completion. The slot
-// is handed to the head of the admission queue, if any.
+// is handed to the admission policy's next pick, if any query waits.
 func (t *Ticket) Done() {
 	if t.done {
 		panic("sched: Ticket.Done called twice")
@@ -160,14 +207,12 @@ func (t *Ticket) Done() {
 	s := t.s
 	s.mu.Lock()
 	s.completed = append(s.completed, QueryStat{
-		Stream: t.stream, Seq: t.seq,
+		Stream: t.stream, Seq: t.seq, Tenant: t.tenant,
 		Arrive: t.arrive, Admit: t.admit, Finish: s.r.Now(),
 	})
-	if len(s.queue) > 0 {
-		head := s.queue[0]
-		s.queue = s.queue[1:]
+	if next := s.policy.Next(); next != nil {
 		s.mu.Unlock()
-		head.ev.Fire()
+		next.ev.Fire()
 		return // slot transferred, running count unchanged
 	}
 	s.running--
@@ -185,7 +230,7 @@ func (s *Scheduler) Running() int {
 func (s *Scheduler) Queued() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	return s.policy.Len()
 }
 
 // Completed returns the recorded per-query statistics, in completion

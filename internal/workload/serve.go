@@ -39,12 +39,32 @@ type ServeConfig struct {
 	// illustration: closed-loop latencies hide the queueing delay that
 	// open-loop clients experience. See RunCompare.
 	ClosedLoop bool
+	// AdmissionPolicy names the scheduler's admission-ordering policy:
+	// "fifo" (arrival order, the historical behavior and the default),
+	// "sesf" (shortest-expected-scan-first, fed by the exec/pbm cost
+	// hook), or "wfq" (per-tenant weighted fair queueing). See
+	// sched.RegisterPolicy.
+	AdmissionPolicy string
+	// Tenants is the number of fairness domains the client streams are
+	// mapped onto (stream s belongs to tenant s % Tenants; default
+	// DefaultTenants). Tenant ids drive wfq's weighted shares and label
+	// the per-tenant latency report; under fifo/sesf they are labels
+	// only.
+	Tenants int
+	// TenantWeights assigns wfq fair-share weights by tenant id (index =
+	// tenant). Missing or non-positive entries weigh 1.
+	TenantWeights []float64
 }
 
+// DefaultTenants is the default number of fairness domains streams are
+// mapped onto.
+const DefaultTenants = 4
+
 // DefaultServeConfig returns serving defaults: 64 streams of 4 queries
-// each arriving at 8 qps/stream, MPL 8, a 64-deep admission queue, a
-// 250 ms latency SLO, and a buffer pool of buffer.DefaultShards shards,
-// over the §4.1 microbenchmark query mix.
+// each arriving at 8 qps/stream, MPL 8, a 64-deep fifo admission queue,
+// a 250 ms latency SLO, DefaultTenants fairness domains, and a buffer
+// pool of buffer.DefaultShards shards, over the §4.1 microbenchmark
+// query mix.
 func DefaultServeConfig() ServeConfig {
 	cfg := DefaultMicroConfig()
 	cfg.Streams = 64
@@ -62,10 +82,13 @@ func DefaultServeConfig() ServeConfig {
 
 // ServeResult reports one serving run: the engine-level Result (I/O
 // volume, pool stats) plus the scheduler's latency and throughput
-// accounting.
+// accounting, overall and per tenant.
 type ServeResult struct {
 	Result
 	Sched sched.Stats
+	// Tenants is the per-tenant completion/p95/SLO breakdown, indexed by
+	// tenant id (one entry per configured tenant).
+	Tenants []sched.TenantStat
 }
 
 // RunServe executes an open-loop serving run over the microbenchmark
@@ -88,21 +111,40 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 	if cfg.PoolShards == 0 {
 		cfg.PoolShards = buffer.DefaultShards
 	}
+	tenants := cfg.Tenants
+	if tenants <= 0 {
+		tenants = DefaultTenants
+	}
+	weights := map[int]float64{}
+	for i, w := range cfg.TenantWeights {
+		if w > 0 {
+			weights[i] = w
+		}
+	}
 	accessed := MicroAccessedBytes(db)
 	e := newEnv(cfg.Config, accessed)
 	build := e.builder(db)
 	n := db.Snapshot("lineitem").NumTuples()
 
 	sch := sched.New(e.rt, sched.Config{
-		MPL:        cfg.MPL,
-		QueueDepth: cfg.QueueDepth,
-		SLO:        cfg.SLO,
+		MPL:           cfg.MPL,
+		QueueDepth:    cfg.QueueDepth,
+		SLO:           cfg.SLO,
+		Policy:        cfg.AdmissionPolicy,
+		TenantWeights: weights,
 	})
+	// Pricing a query takes the PBM mutex and averages observed speeds;
+	// skip it entirely for policies that never read the estimate.
+	var cost exec.ScanCostModel
+	if sch.UsesCost() {
+		cost = e.costModel()
+	}
 
 	wg := e.rt.NewWaitGroup()
 	stopSampler := e.sharingSampler()
 	for s := 0; s < cfg.Streams; s++ {
 		s := s
+		tenant := s % tenants
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(s)*6271))
 		wg.Add(1)
 		e.rt.Go("client", func() {
@@ -116,10 +158,17 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 				r := randRange(rng, n, pct)
 				useQ1 := rng.Intn(2) == 0
 				q := q
+				// The expected-work estimate is priced at arrival from the
+				// scan's tuple count and the cost model's current speed
+				// view — the signal sesf orders the admission queue by.
+				req := sched.Query{Stream: s, Seq: q, Tenant: tenant}
+				if cost != nil {
+					req.Cost = cost.EstimateScanTime(r.Hi - r.Lo).Seconds()
+				}
 				if cfg.ClosedLoop {
 					// Closed loop: the stream itself runs the query and only
 					// then loops to draw the next think time.
-					tk, ok := sch.Admit(s, q)
+					tk, ok := sch.AdmitQuery(req)
 					if !ok {
 						continue
 					}
@@ -130,7 +179,7 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 				wg.Add(1)
 				e.rt.Go("query", func() {
 					defer wg.Done()
-					tk, ok := sch.Admit(s, q)
+					tk, ok := sch.AdmitQuery(req)
 					if !ok {
 						return // rejected: bounded queue full
 					}
@@ -148,6 +197,7 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 			e.abm.Stop()
 		}
 		res.Sched = sch.Stats(e.rt.Now())
+		res.Tenants = sch.TenantStats(tenants)
 	})
 	e.rt.Run()
 	res.Result = *e.finish(nil)

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -125,6 +126,93 @@ func TestServeSLOAttainmentResponds(t *testing.T) {
 	}
 	if rt.Sched.SLOAttainment != 0 {
 		t.Errorf("1-ns SLO attainment %v, want 0", rt.Sched.SLOAttainment)
+	}
+}
+
+// Every admission policy must serve the full workload deterministically
+// and report a per-tenant breakdown that reconciles with the aggregate.
+func TestServeAdmissionPoliciesDeterministicAndAccounted(t *testing.T) {
+	for _, adm := range []string{"fifo", "sesf", "wfq"} {
+		adm := adm
+		t.Run(adm, func(t *testing.T) {
+			run := func() *ServeResult {
+				cfg := tinyServeConfig()
+				cfg.Policy = PBM
+				cfg.AdmissionPolicy = adm
+				cfg.ArrivalRate = 500 // saturates MPL 4: the policy really orders the queue
+				cfg.Tenants = 4
+				cfg.TenantWeights = []float64{4, 2, 1, 1}
+				return RunServe(tinyDB, cfg)
+			}
+			a, b := run(), run()
+			if a.Sched != b.Sched {
+				t.Fatalf("nondeterministic under %s:\n%+v\n%+v", adm, a.Sched, b.Sched)
+			}
+			if !reflect.DeepEqual(a.Tenants, b.Tenants) {
+				t.Fatalf("nondeterministic tenant stats under %s:\n%+v\n%+v", adm, a.Tenants, b.Tenants)
+			}
+			if len(a.Tenants) != 4 {
+				t.Fatalf("tenant stats %+v, want 4 tenants", a.Tenants)
+			}
+			var sum int64
+			for i, ts := range a.Tenants {
+				if ts.Tenant != i {
+					t.Fatalf("tenant stats out of order: %+v", a.Tenants)
+				}
+				sum += ts.Completed
+			}
+			if sum != a.Sched.Completed {
+				t.Fatalf("per-tenant completions %d != aggregate %d", sum, a.Sched.Completed)
+			}
+			if a.Sched.Completed+a.Sched.Rejected != a.Sched.Arrived {
+				t.Fatalf("accounting leak: %+v", a.Sched)
+			}
+		})
+	}
+}
+
+// An explicitly named fifo policy must match the default (empty) policy
+// bit for bit — the plumbing introduces no behavioral fork.
+func TestServeExplicitFIFOMatchesDefault(t *testing.T) {
+	cfg := tinyServeConfig()
+	cfg.Policy = PBM
+	def := RunServe(tinyDB, cfg)
+	cfg.AdmissionPolicy = "fifo"
+	named := RunServe(tinyDB, cfg)
+	if def.Sched != named.Sched || def.TotalIOBytes != named.TotalIOBytes {
+		t.Fatalf("explicit fifo diverged from default:\n%+v\n%+v", def.Sched, named.Sched)
+	}
+}
+
+// Under saturation, wfq must tilt completed work toward the heavy
+// tenant relative to its share under fifo.
+func TestServeWFQFavorsWeightedTenant(t *testing.T) {
+	base := tinyServeConfig()
+	base.Policy = LRU
+	base.ArrivalRate = 2000 // all queries arrive nearly at once
+	base.MPL = 1
+	base.QueueDepth = -1
+	base.QueriesPerStream = 4
+	base.Tenants = 2
+	base.TenantWeights = []float64{8, 1}
+	run := func(adm string) *ServeResult {
+		cfg := base
+		cfg.AdmissionPolicy = adm
+		return RunServe(tinyDB, cfg)
+	}
+	fifo, wfq := run("fifo"), run("wfq")
+	// Same workload completes either way; wfq just reorders admissions.
+	if fifo.Sched.Completed != wfq.Sched.Completed {
+		t.Fatalf("completions diverged: fifo %d, wfq %d", fifo.Sched.Completed, wfq.Sched.Completed)
+	}
+	// With everything queued at once behind MPL 1, the 8x tenant's tail
+	// latency must improve over fifo's interleaved order, and must beat
+	// the light tenant's tail within the wfq run.
+	if wfq.Tenants[0].P95 >= fifo.Tenants[0].P95 {
+		t.Fatalf("heavy tenant p95 under wfq %v >= fifo %v", wfq.Tenants[0].P95, fifo.Tenants[0].P95)
+	}
+	if wfq.Tenants[0].P95 >= wfq.Tenants[1].P95 {
+		t.Fatalf("heavy tenant p95 %v >= light tenant %v under wfq", wfq.Tenants[0].P95, wfq.Tenants[1].P95)
 	}
 }
 

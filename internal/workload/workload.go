@@ -251,6 +251,25 @@ func newEnv(cfg Config, accessedBytes int64) *env {
 	return e
 }
 
+// fallbackScanSpeed prices scans for admission when no PBM instance is
+// live to observe real speeds. It matches the serving PBM configuration's
+// DefaultSpeed (newEnv sets 1e8 tuples/s for the scaled-down data), so
+// fifo/sesf/wfq comparisons across buffer policies see commensurate cost
+// estimates.
+const fallbackScanSpeed = 1e8
+
+// costModel returns the admission cost hook for the run: the PBM group's
+// live estimate when predictive buffer management is active, a constant
+// tuples-per-second model otherwise. Either way, a query's expected work
+// scales with its scan length, which is what cost-aware admission orders
+// by.
+func (e *env) costModel() exec.ScanCostModel {
+	if e.pbm != nil {
+		return e.pbm
+	}
+	return exec.FixedSpeedCost(fallbackScanSpeed)
+}
+
 // builder returns the ScanBuilder matching the policy: Scan through the
 // pool, or CScan through the ABM.
 func (e *env) builder(db *tpch.DB) tpch.ScanBuilder {

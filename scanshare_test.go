@@ -140,6 +140,25 @@ func TestPartitionRangeReexport(t *testing.T) {
 	}
 }
 
+// Sweeps must reject unknown admission-policy names before generating
+// any data, with a message naming the registered menu.
+func TestServeSweepValidatesAdmissionPolicies(t *testing.T) {
+	for name, run := range map[string]func(){
+		"sweep":   func() { ServeSweep(ServeOptions{AdmissionPolicies: []string{"ses"}}) },
+		"compare": func() { Compare(CompareOptions{Admission: "ses"}) },
+	} {
+		name, run := name, run
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("unknown admission policy did not panic")
+				}
+			}()
+			run()
+		})
+	}
+}
+
 func TestDefaultConfigsMatchPaper(t *testing.T) {
 	m := DefaultMicroConfig()
 	if m.Streams != 8 || m.QueriesPerStream != 16 || m.BufferFrac != 0.4 || m.BandwidthMB != 700 {

@@ -1,6 +1,7 @@
 package scanshare
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/sched"
@@ -21,6 +22,16 @@ type (
 	SchedConfig = sched.Config
 	// SchedStats is the scheduler's aggregate serving report.
 	SchedStats = sched.Stats
+	// TenantStat is one tenant's slice of the serving report.
+	TenantStat = sched.TenantStat
+	// AdmissionPolicy orders the scheduler's admission queue; register
+	// custom implementations with RegisterAdmissionPolicy.
+	AdmissionPolicy = sched.AdmissionPolicy
+	// AdmissionPolicyConfig parameterizes admission-policy construction.
+	AdmissionPolicyConfig = sched.PolicyConfig
+	// PendingQuery is one query waiting in the admission queue, as an
+	// AdmissionPolicy sees it.
+	PendingQuery = sched.Pending
 	// LatencyDist summarizes a latency distribution (p50/p95/p99/max/mean).
 	LatencyDist = sched.LatencyDist
 	// QueryStat is one completed query's recorded life cycle.
@@ -35,6 +46,13 @@ type (
 func (s *System) NewScheduler(cfg SchedConfig) *Scheduler {
 	return sched.New(s.RT, cfg)
 }
+
+// RegisterAdmissionPolicy registers a custom admission-policy
+// constructor; the built-in policies are "fifo", "sesf" and "wfq".
+var RegisterAdmissionPolicy = sched.RegisterPolicy
+
+// AdmissionPolicyNames lists the registered admission policies, sorted.
+var AdmissionPolicyNames = sched.PolicyNames
 
 // DefaultServeConfig re-exports the serving defaults: 64 streams,
 // 8 qps/stream, MPL 8, 64-deep admission queue, 250 ms SLO.
@@ -61,6 +79,18 @@ type ServeOptions struct {
 	// sweep measures the sharding effect instead of asserting it. CScan
 	// rows ignore it (the ABM replaces the pool) and run once.
 	Shards []int
+	// AdmissionPolicies is the admission-policy axis (default {"fifo"}):
+	// each cell of the sweep runs once per named policy, rows adjacent,
+	// so the fifo/sesf/wfq SLO comparison reads off one table. Names must
+	// be registered (see AdmissionPolicyNames).
+	AdmissionPolicies []string
+	// Tenants is the number of fairness domains streams map onto (stream
+	// s belongs to tenant s % Tenants; 0 => default 4). The serve table
+	// reports p95 and SLO attainment per tenant.
+	Tenants int
+	// TenantWeights assigns wfq fair-share weights by tenant id (index =
+	// tenant); missing or non-positive entries weigh 1.
+	TenantWeights []float64
 	// QueueDepth bounds the admission queue (0 => default 64).
 	QueueDepth int
 	// SLO is the latency objective (0 => 250 ms).
@@ -74,12 +104,13 @@ type ServeOptions struct {
 // DefaultServeOptions returns the serving-sweep defaults.
 func DefaultServeOptions() ServeOptions {
 	return ServeOptions{
-		Options:  DefaultOptions(),
-		Rates:    []float64{1, 5, 20},
-		MPLs:     []int{8, 32},
-		Policies: []Policy{LRU, Clock, PBM, CScan},
-		Shards:   []int{1, DefaultPoolShards},
-		SLO:      250 * time.Millisecond,
+		Options:           DefaultOptions(),
+		Rates:             []float64{1, 5, 20},
+		MPLs:              []int{8, 32},
+		Policies:          []Policy{LRU, Clock, PBM, CScan},
+		Shards:            []int{1, DefaultPoolShards},
+		AdmissionPolicies: []string{"fifo"},
+		SLO:               250 * time.Millisecond,
 	}
 }
 
@@ -107,19 +138,24 @@ func (o ServeOptions) fill() ServeOptions {
 	if len(o.Shards) == 0 {
 		o.Shards = d.Shards
 	}
+	if len(o.AdmissionPolicies) == 0 {
+		o.AdmissionPolicies = d.AdmissionPolicies
+	}
 	if o.SLO == 0 {
 		o.SLO = d.SLO
 	}
 	return o
 }
 
-// ServeRow is one cell of the serving sweep: a (rate, MPL, policy)
-// configuration and its throughput/latency report.
+// ServeRow is one cell of the serving sweep: a (rate, MPL, buffer
+// policy, shards, admission policy) configuration and its
+// throughput/latency report, overall and per tenant.
 type ServeRow struct {
 	Rate       float64 // per-stream arrival rate (queries/s)
 	MPL        int
-	Policy     string
-	Shards     int // buffer-pool shard count (0 for CScan rows: no pool)
+	Policy     string // buffer-management policy
+	Shards     int    // buffer-pool shard count (0 for CScan rows: no pool)
+	Admission  string // admission policy (fifo/sesf/wfq)
 	Completed  int64
 	Rejected   int64
 	Throughput float64 // completed queries per virtual second
@@ -129,13 +165,61 @@ type ServeRow struct {
 	QWaitP95ms float64 // queue-wait p95 (virtual ms)
 	SLOPct     float64 // fraction of completed queries meeting the SLO, 0..100
 	IOMB       float64
+	// TenantP95ms and TenantSLOPct break p95 latency and SLO attainment
+	// down by tenant id (index = tenant), exposing what the aggregate
+	// hides: which tenant pays the overload tail under each admission
+	// policy.
+	TenantP95ms  []float64
+	TenantSLOPct []float64
 }
 
-// ServeSweep runs the arrival-rate x MPL x policy x shard-count cross
-// product and returns one row per cell, shards=1 and sharded rows
-// adjacent so the sharding effect reads off one table.
+// serveRowOf flattens one serving result into the sweep's row shape.
+func serveRowOf(res *workload.ServeResult, rate float64, mpl int, pol Policy, shards int, admission string) ServeRow {
+	row := ServeRow{
+		Rate:       rate,
+		MPL:        mpl,
+		Policy:     pol.String(),
+		Shards:     shards,
+		Admission:  admission,
+		Completed:  res.Sched.Completed,
+		Rejected:   res.Sched.Rejected,
+		Throughput: res.Sched.Throughput,
+		P50ms:      ms(res.Sched.Latency.P50),
+		P95ms:      ms(res.Sched.Latency.P95),
+		P99ms:      ms(res.Sched.Latency.P99),
+		QWaitP95ms: ms(res.Sched.QueueWait.P95),
+		SLOPct:     res.Sched.SLOAttainment * 100,
+		IOMB:       mb(res.TotalIOBytes),
+	}
+	for _, ts := range res.Tenants {
+		row.TenantP95ms = append(row.TenantP95ms, ms(ts.P95))
+		row.TenantSLOPct = append(row.TenantSLOPct, ts.SLOAttainment*100)
+	}
+	return row
+}
+
+// validateAdmission panics on an unregistered admission-policy name,
+// naming the registered menu. Sweeps call it before the expensive data
+// generation so a typo from a library caller fails fast instead of
+// panicking mid-sweep inside sched.New.
+func validateAdmission(names ...string) {
+	for _, name := range names {
+		if _, ok := sched.NewPolicy(name, sched.PolicyConfig{}); !ok {
+			panic(fmt.Sprintf("scanshare: unknown admission policy %q (registered: %v)",
+				name, sched.PolicyNames()))
+		}
+	}
+}
+
+// ServeSweep runs the arrival-rate x MPL x buffer-policy x shard-count x
+// admission-policy cross product and returns one row per cell: shards=1
+// and sharded rows adjacent so the sharding effect reads off one table,
+// and admission-policy rows of one cell adjacent so the fifo/sesf/wfq
+// SLO comparison does too. Unregistered admission-policy names panic
+// before any data is generated.
 func ServeSweep(o ServeOptions) []ServeRow {
 	o = o.fill()
+	validateAdmission(o.AdmissionPolicies...)
 	db := GenerateTPCH(o.SF, o.Seed)
 	var out []ServeRow
 	for _, rate := range o.Rates {
@@ -147,33 +231,24 @@ func ServeSweep(o ServeOptions) []ServeRow {
 					shardAxis = []int{0}
 				}
 				for _, shards := range shardAxis {
-					cfg := DefaultServeConfig()
-					cfg.Config = o.apply(cfg.Config)
-					cfg.Config.Real = o.Real
-					cfg.Policy = pol
-					cfg.ArrivalRate = rate
-					cfg.MPL = mpl
-					cfg.QueueDepth = o.QueueDepth
-					cfg.SLO = o.SLO
-					if shards > 0 {
-						cfg.PoolShards = shards
+					for _, adm := range o.AdmissionPolicies {
+						cfg := DefaultServeConfig()
+						cfg.Config = o.apply(cfg.Config)
+						cfg.Config.Real = o.Real
+						cfg.Policy = pol
+						cfg.ArrivalRate = rate
+						cfg.MPL = mpl
+						cfg.QueueDepth = o.QueueDepth
+						cfg.SLO = o.SLO
+						cfg.AdmissionPolicy = adm
+						cfg.Tenants = o.Tenants
+						cfg.TenantWeights = o.TenantWeights
+						if shards > 0 {
+							cfg.PoolShards = shards
+						}
+						res := workload.RunServe(db, cfg)
+						out = append(out, serveRowOf(res, rate, mpl, pol, shards, adm))
 					}
-					res := workload.RunServe(db, cfg)
-					out = append(out, ServeRow{
-						Rate:       rate,
-						MPL:        mpl,
-						Policy:     pol.String(),
-						Shards:     shards,
-						Completed:  res.Sched.Completed,
-						Rejected:   res.Sched.Rejected,
-						Throughput: res.Sched.Throughput,
-						P50ms:      ms(res.Sched.Latency.P50),
-						P95ms:      ms(res.Sched.Latency.P95),
-						P99ms:      ms(res.Sched.Latency.P99),
-						QWaitP95ms: ms(res.Sched.QueueWait.P95),
-						SLOPct:     res.Sched.SLOAttainment * 100,
-						IOMB:       mb(res.TotalIOBytes),
-					})
 				}
 			}
 		}
@@ -199,6 +274,14 @@ type CompareOptions struct {
 	Policy Policy
 	// Shards is the buffer-pool shard count (default 8).
 	Shards int
+	// Admission names the admission policy for both loops (default
+	// "fifo").
+	Admission string
+	// Tenants is the number of fairness domains streams map onto (0 =>
+	// default 4).
+	Tenants int
+	// TenantWeights assigns wfq weights by tenant id.
+	TenantWeights []float64
 	// QueueDepth bounds the admission queue (0 => default 64, negative
 	// => unbounded).
 	QueueDepth int
@@ -237,6 +320,10 @@ func Compare(o CompareOptions) CompareReport {
 	if o.Shards <= 0 {
 		o.Shards = d.Shards
 	}
+	if o.Admission == "" {
+		o.Admission = "fifo"
+	}
+	validateAdmission(o.Admission)
 	db := GenerateTPCH(o.SF, o.Seed)
 	cfg := DefaultServeConfig()
 	cfg.Config = o.apply(cfg.Config)
@@ -246,26 +333,15 @@ func Compare(o CompareOptions) CompareReport {
 	cfg.ArrivalRate = o.Rate
 	cfg.MPL = o.MPL
 	cfg.QueueDepth = o.QueueDepth
+	cfg.AdmissionPolicy = o.Admission
+	cfg.Tenants = o.Tenants
+	cfg.TenantWeights = o.TenantWeights
 	if o.SLO != 0 {
 		cfg.SLO = o.SLO
 	}
 	res := workload.RunCompare(db, cfg)
 	row := func(r *workload.ServeResult) ServeRow {
-		return ServeRow{
-			Rate:       o.Rate,
-			MPL:        o.MPL,
-			Policy:     o.Policy.String(),
-			Shards:     o.Shards,
-			Completed:  r.Sched.Completed,
-			Rejected:   r.Sched.Rejected,
-			Throughput: r.Sched.Throughput,
-			P50ms:      ms(r.Sched.Latency.P50),
-			P95ms:      ms(r.Sched.Latency.P95),
-			P99ms:      ms(r.Sched.Latency.P99),
-			QWaitP95ms: ms(r.Sched.QueueWait.P95),
-			SLOPct:     r.Sched.SLOAttainment * 100,
-			IOMB:       mb(r.TotalIOBytes),
-		}
+		return serveRowOf(r, o.Rate, o.MPL, o.Policy, o.Shards, o.Admission)
 	}
 	rep := CompareReport{Open: row(res.Open), Closed: row(res.Closed)}
 	rep.GapP50ms = rep.Open.P50ms - rep.Closed.P50ms
