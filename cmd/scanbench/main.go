@@ -58,12 +58,14 @@ func main() {
 		cpu     = flag.Duration("cpu", 0, "override per-tuple CPU cost")
 		tsv     = flag.Bool("tsv", false, "emit tab-separated values")
 
-		serve    = flag.Bool("serve", false, "run the open-loop serving sweep (arrival rate x MPL x policy x pool shards x admission policy)")
+		serve    = flag.Bool("serve", false, "run the open-loop serving sweep (arrival rate x MPL x policy x pool shards x devices x admission policy)")
 		compare  = flag.Bool("compare", false, "run the closed-vs-open-loop comparison at one serving configuration")
 		real     = flag.Bool("real", false, "run -serve/-compare on the real-threaded runtime (goroutines, wall-clock time) instead of the simulator")
 		rates    = flag.String("rates", "", "serve: comma-separated per-stream arrival rates in queries/s (default 1,5,20); -compare uses the first")
 		mpls     = flag.String("mpls", "", "serve: comma-separated MPL concurrency limits (default 8,32); -compare uses the first")
 		shards   = flag.String("shards", "", "buffer-pool shard counts: a comma-separated axis for -serve (default 1,8); the first value overrides the figure experiments' single pool")
+		devices  = flag.String("devices", "", "disk-array spindle counts: a comma-separated axis for -serve (default 1); the first value overrides the figure experiments' and -compare's single device")
+		stripe   = flag.Int("stripe", 0, "disk-array stripe chunk in blocks (0 = default 16); meaningful with -devices > 1")
 		policies = flag.String("policies", "", "serve: comma-separated admission policies (fifo, sesf, wfq; default fifo); -compare uses the first")
 		tenants  = flag.Int("tenants", 0, "serve/compare: number of tenants streams are mapped onto (default 4)")
 		weights  = flag.String("weights", "", "serve/compare: comma-separated per-tenant wfq weights, index = tenant id (default all 1)")
@@ -74,18 +76,27 @@ func main() {
 	rateAxis := parseAxis("rates", *rates, parseFloat64)
 	mplAxis := parseAxis("mpls", *mpls, strconv.Atoi)
 	shardAxis := parseAxis("shards", *shards, strconv.Atoi)
+	deviceAxis := parseAxis("devices", *devices, strconv.Atoi)
 	weightAxis := parseAxis("weights", *weights, parseFloat64)
 	policyAxis := parseAdmissionPolicies(*policies)
 	if *tenants < 0 {
 		fmt.Fprintf(os.Stderr, "scanbench: -tenants: bad value %d: must be positive (0 = default)\n", *tenants)
 		os.Exit(2)
 	}
+	if *stripe < 0 {
+		fmt.Fprintf(os.Stderr, "scanbench: -stripe: bad value %d: must be positive (0 = default)\n", *stripe)
+		os.Exit(2)
+	}
 	opts := scanshare.Options{
 		SF: *sf, Seed: *seed, Streams: *streams, QueriesPerStream: *queries,
 		ThreadsPerQuery: *threads, Cores: *cores, PerTupleCPU: *cpu,
+		StripeChunk: *stripe,
 	}
 	if len(shardAxis) > 0 {
 		opts.PoolShards = shardAxis[0]
+	}
+	if len(deviceAxis) > 0 {
+		opts.Devices = deviceAxis[0]
 	}
 	if *serve && *compare {
 		fmt.Fprintln(os.Stderr, "scanbench: -serve and -compare are mutually exclusive")
@@ -111,6 +122,10 @@ func main() {
 		if len(shardAxis) > 0 {
 			co.Shards = shardAxis[0]
 		}
+		if len(deviceAxis) > 0 {
+			co.Devices = deviceAxis[0]
+		}
+		co.StripeChunk = *stripe
 		if len(policyAxis) > 0 {
 			co.Admission = policyAxis[0]
 		}
@@ -129,6 +144,8 @@ func main() {
 			Rates:             rateAxis,
 			MPLs:              mplAxis,
 			Shards:            shardAxis,
+			Devices:           deviceAxis,
+			StripeChunk:       *stripe,
 			AdmissionPolicies: policyAxis,
 			Tenants:           *tenants,
 			TenantWeights:     weightAxis,
@@ -136,8 +153,9 @@ func main() {
 			SLO:               *slo,
 			Real:              *real,
 		}
-		// The per-run override must not fight the sweep's own shard axis.
+		// The per-run overrides must not fight the sweep's own axes.
 		so.Options.PoolShards = 0
+		so.Options.Devices = 0
 		start := time.Now()
 		printServe(scanshare.ServeSweep(so), *real, *tsv)
 		fmt.Printf("# serve done in %v\n", time.Since(start).Round(time.Millisecond))
@@ -160,25 +178,38 @@ func main() {
 	if len(targets) == 1 && targets[0] == "all" {
 		targets = []string{"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation"}
 	}
+	// Non-default device configurations annotate the figure titles; the
+	// default single-device output stays byte-identical to the historical
+	// tables.
+	figTitle := func(t string) string {
+		if opts.Devices > 1 {
+			if opts.StripeChunk > 0 {
+				t += fmt.Sprintf(" [devices=%d stripe=%d]", opts.Devices, opts.StripeChunk)
+			} else {
+				t += fmt.Sprintf(" [devices=%d]", opts.Devices)
+			}
+		}
+		return t
+	}
 	for _, target := range targets {
 		start := time.Now()
 		switch target {
 		case "fig11":
-			printSweep("Figure 11: microbenchmark, varying buffer pool size", "pool %%", scanshare.Fig11(opts), *tsv)
+			printSweep(figTitle("Figure 11: microbenchmark, varying buffer pool size"), "pool %%", scanshare.Fig11(opts), *tsv)
 		case "fig12":
-			printSweep("Figure 12: microbenchmark, varying I/O bandwidth", "MB/s", scanshare.Fig12(opts), *tsv)
+			printSweep(figTitle("Figure 12: microbenchmark, varying I/O bandwidth"), "MB/s", scanshare.Fig12(opts), *tsv)
 		case "fig13":
-			printSweep("Figure 13: microbenchmark, varying number of streams", "streams", scanshare.Fig13(opts), *tsv)
+			printSweep(figTitle("Figure 13: microbenchmark, varying number of streams"), "streams", scanshare.Fig13(opts), *tsv)
 		case "fig14":
-			printSweep("Figure 14: TPC-H throughput, varying buffer pool size", "pool %%", scanshare.Fig14(opts), *tsv)
+			printSweep(figTitle("Figure 14: TPC-H throughput, varying buffer pool size"), "pool %%", scanshare.Fig14(opts), *tsv)
 		case "fig15":
-			printSweep("Figure 15: TPC-H throughput, varying I/O bandwidth", "MB/s", scanshare.Fig15(opts), *tsv)
+			printSweep(figTitle("Figure 15: TPC-H throughput, varying I/O bandwidth"), "MB/s", scanshare.Fig15(opts), *tsv)
 		case "fig16":
-			printSweep("Figure 16: TPC-H throughput, varying number of streams", "streams", scanshare.Fig16(opts), *tsv)
+			printSweep(figTitle("Figure 16: TPC-H throughput, varying number of streams"), "streams", scanshare.Fig16(opts), *tsv)
 		case "fig17":
-			printSharing("Figure 17: sharing potential, microbenchmark", scanshare.Fig17(opts), *tsv)
+			printSharing(figTitle("Figure 17: sharing potential, microbenchmark"), scanshare.Fig17(opts), *tsv)
 		case "fig18":
-			printSharing("Figure 18: sharing potential, TPC-H throughput", scanshare.Fig18(opts), *tsv)
+			printSharing(figTitle("Figure 18: sharing potential, TPC-H throughput"), scanshare.Fig18(opts), *tsv)
 		case "ablation":
 			printAblation(scanshare.Ablation(opts), *tsv)
 		default:
@@ -289,13 +320,14 @@ func printAblation(rows []scanshare.AblationRow, tsv bool) {
 }
 
 // printServe renders the serving sweep: one row per (rate, MPL, policy,
-// pool shards, admission policy) cell with throughput, latency
-// percentiles, SLO attainment, and the per-tenant p95/SLO breakdown;
-// shard counts and admission policies of the same cell print adjacent so
-// both effects read off directly. CScan rows print "-" for shards (the
-// ABM replaces the page pool).
+// pool shards, devices, admission policy) cell with throughput, latency
+// percentiles, SLO attainment, the per-tenant p95/SLO breakdown, and the
+// achieved aggregate read bandwidth; shard counts, device counts and
+// admission policies of the same cell print adjacent so all three effects
+// read off directly. CScan rows print "-" for shards (the ABM replaces
+// the page pool).
 func printServe(rows []scanshare.ServeRow, real, tsv bool) {
-	fmt.Printf("== Serving sweep: open-loop arrivals, admission control, sharded pool (latencies in %s ms) ==\n", clockName(real))
+	fmt.Printf("== Serving sweep: open-loop arrivals, admission control, sharded pool, striped disk array (latencies in %s ms) ==\n", clockName(real))
 	shardCol := func(r scanshare.ServeRow) string {
 		if r.Shards <= 0 {
 			return "-"
@@ -303,22 +335,22 @@ func printServe(rows []scanshare.ServeRow, real, tsv bool) {
 		return strconv.Itoa(r.Shards)
 	}
 	if tsv {
-		fmt.Printf("rate_qps\tmpl\tpolicy\tadmission\tpool_shards\tcompleted\trejected\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\ttenant_p95_ms\ttenant_slo_pct\tio_mb\n")
+		fmt.Printf("rate_qps\tmpl\tpolicy\tadmission\tpool_shards\tdevices\tcompleted\trejected\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\ttenant_p95_ms\ttenant_slo_pct\tio_mb\tread_mbps\n")
 		for _, r := range rows {
-			fmt.Printf("%g\t%d\t%s\t%s\t%s\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%s\t%s\t%.1f\n",
-				r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Completed, r.Rejected, r.Throughput,
+			fmt.Printf("%g\t%d\t%s\t%s\t%s\t%d\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%s\t%s\t%.1f\t%.1f\n",
+				r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.Completed, r.Rejected, r.Throughput,
 				r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct,
-				joinFloats(r.TenantP95ms, "%.3f"), joinFloats(r.TenantSLOPct, "%.1f"), r.IOMB)
+				joinFloats(r.TenantP95ms, "%.3f"), joinFloats(r.TenantSLOPct, "%.1f"), r.IOMB, r.ReadMBps)
 		}
 		return
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "rate/stream\tMPL\tpolicy\tadmit\tshards\tdone\trej\tthru (q/s)\tp50\tp95\tp99\tqwait p95\tSLO %\tp95/tenant\tSLO %/tenant\tI/O MB")
+	fmt.Fprintln(w, "rate/stream\tMPL\tpolicy\tadmit\tshards\tdevs\tdone\trej\tthru (q/s)\tp50\tp95\tp99\tqwait p95\tSLO %\tp95/tenant\tSLO %/tenant\tI/O MB\trd MB/s")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%s\t%d\t%d\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%s\t%s\t%.1f\n",
-			r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Completed, r.Rejected, r.Throughput,
+		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%s\t%d\t%d\t%d\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%s\t%s\t%.1f\t%.1f\n",
+			r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.Completed, r.Rejected, r.Throughput,
 			r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct,
-			joinFloats(r.TenantP95ms, "%.2f"), joinFloats(r.TenantSLOPct, "%.0f"), r.IOMB)
+			joinFloats(r.TenantP95ms, "%.2f"), joinFloats(r.TenantSLOPct, "%.0f"), r.IOMB, r.ReadMBps)
 	}
 	w.Flush()
 }
@@ -349,17 +381,17 @@ func clockName(real bool) string {
 func printCompare(rep scanshare.CompareReport, real, tsv bool) {
 	fmt.Printf("== Closed vs open loop: same query mix, same engine, two arrival disciplines (latencies in %s ms) ==\n", clockName(real))
 	if tsv {
-		fmt.Printf("loop\trate_qps\tmpl\tpolicy\tadmission\tpool_shards\tcompleted\trejected\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\tio_mb\n")
+		fmt.Printf("loop\trate_qps\tmpl\tpolicy\tadmission\tpool_shards\tdevices\tcompleted\trejected\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\tio_mb\n")
 		for _, e := range []struct {
 			name string
 			r    scanshare.ServeRow
 		}{{"open", rep.Open}, {"closed", rep.Closed}} {
-			fmt.Printf("%s\t%g\t%d\t%s\t%s\t%d\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%.1f\n",
-				e.name, e.r.Rate, e.r.MPL, e.r.Policy, e.r.Admission, e.r.Shards, e.r.Completed, e.r.Rejected,
+			fmt.Printf("%s\t%g\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%.1f\n",
+				e.name, e.r.Rate, e.r.MPL, e.r.Policy, e.r.Admission, e.r.Shards, e.r.Devices, e.r.Completed, e.r.Rejected,
 				e.r.Throughput, e.r.P50ms, e.r.P95ms, e.r.P99ms, e.r.QWaitP95ms, e.r.SLOPct, e.r.IOMB)
 		}
-		fmt.Printf("gap\t%g\t%d\t%s\t%s\t%d\t-\t-\t-\t%.3f\t%.3f\t%.3f\t-\t-\t-\n",
-			rep.Open.Rate, rep.Open.MPL, rep.Open.Policy, rep.Open.Admission, rep.Open.Shards,
+		fmt.Printf("gap\t%g\t%d\t%s\t%s\t%d\t%d\t-\t-\t-\t%.3f\t%.3f\t%.3f\t-\t-\t-\n",
+			rep.Open.Rate, rep.Open.MPL, rep.Open.Policy, rep.Open.Admission, rep.Open.Shards, rep.Open.Devices,
 			rep.GapP50ms, rep.GapP95ms, rep.GapP99ms)
 		return
 	}

@@ -25,6 +25,13 @@ type Options struct {
 	// (figure experiments default to the paper's single pool; the serve
 	// sweep has its own shard axis, see ServeOptions.Shards).
 	PoolShards int
+	// Devices overrides the disk-array spindle count when nonzero (figure
+	// experiments default to the paper's single device; the serve sweep
+	// has its own devices axis, see ServeOptions.Devices).
+	Devices int
+	// StripeChunk overrides the array striping granularity in blocks when
+	// nonzero; meaningful only with Devices > 1.
+	StripeChunk int
 }
 
 // DefaultOptions returns the experiment defaults.
@@ -62,6 +69,12 @@ func (o Options) apply(cfg workload.Config) workload.Config {
 	}
 	if o.PoolShards > 0 {
 		cfg.PoolShards = o.PoolShards
+	}
+	if o.Devices > 0 {
+		cfg.Devices = o.Devices
+	}
+	if o.StripeChunk > 0 {
+		cfg.StripeChunk = o.StripeChunk
 	}
 	return cfg
 }

@@ -111,7 +111,7 @@ type tableMeta struct {
 // chunks while a load is in flight.
 type ABM struct {
 	r    rt.Runtime
-	disk *iosim.Disk
+	disk *iosim.DeviceArray
 	cfg  Config
 
 	// mu guards all chunk/table/residency state below. Uncontended in sim
@@ -134,7 +134,7 @@ type ABM struct {
 }
 
 // New creates an ABM and starts its scheduler process on the runtime.
-func New(r rt.Runtime, disk *iosim.Disk, cfg Config) *ABM {
+func New(r rt.Runtime, disk *iosim.DeviceArray, cfg Config) *ABM {
 	if cfg.ChunkTuples <= 0 {
 		cfg.ChunkTuples = DefaultChunkTuples
 	}
@@ -640,10 +640,14 @@ func (a *ABM) loadChunk(cs *CScan, c *chunk) bool {
 		}
 	}
 	c.loading = true
-	// Read block-contiguous stretches in single requests. The mutex is
-	// released for the transfer: consumers keep draining cached chunks
+	// Read block-contiguous stretches as one batch of spans: each stretch
+	// is priced on the device(s) owning its stripe chunks, and stretches
+	// on different devices transfer concurrently (a single-device array
+	// degrades to the historical sequential per-stretch reads). The mutex
+	// is released for the transfer: consumers keep draining cached chunks
 	// (and the eviction guard skips the loading chunk) meanwhile.
 	a.mu.Unlock()
+	var spans []iosim.Span
 	start := 0
 	for i := 1; i <= len(pages); i++ {
 		if i == len(pages) || pages[i].Block != pages[i-1].Block+1 {
@@ -651,10 +655,11 @@ func (a *ABM) loadChunk(cs *CScan, c *chunk) bool {
 			for _, pg := range pages[start:i] {
 				n += pg.Bytes
 			}
-			a.disk.Read(pages[start].Block, i-start, n)
+			spans = append(spans, iosim.Span{Block: pages[start].Block, Blocks: i - start, Bytes: n})
 			start = i
 		}
 	}
+	a.disk.ReadSpans(spans)
 	a.mu.Lock()
 	// The loaded pages may complete residency for neighbouring chunks too
 	// (narrow-column pages span chunks), so the wake set covers every

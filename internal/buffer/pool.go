@@ -140,7 +140,7 @@ type shard struct {
 // Pool is a byte-budgeted page cache partitioned into shards.
 type Pool struct {
 	r        rt.Runtime
-	disk     *iosim.Disk
+	disk     *iosim.DeviceArray
 	capacity int64        // bytes, global across shards
 	used     atomic.Int64 // sum of shard used
 	nPinned  atomic.Int64
@@ -172,7 +172,7 @@ type Pool struct {
 
 // NewPool creates a single-shard pool around one policy instance — the
 // historical constructor, bit-identical to the pre-sharding behavior.
-func NewPool(r rt.Runtime, disk *iosim.Disk, policy Policy, capacity int64) *Pool {
+func NewPool(r rt.Runtime, disk *iosim.DeviceArray, policy Policy, capacity int64) *Pool {
 	if policy == nil {
 		panic("buffer: nil policy")
 	}
@@ -183,7 +183,7 @@ func NewPool(r rt.Runtime, disk *iosim.Disk, policy Policy, capacity int64) *Poo
 // into shards. factory is called once per shard (with the shard index)
 // so every shard owns a private policy instance; use FactoryOf for the
 // registered built-in policies.
-func NewShardedPool(r rt.Runtime, disk *iosim.Disk, factory func(shard int) Policy, capacity int64, shards int) *Pool {
+func NewShardedPool(r rt.Runtime, disk *iosim.DeviceArray, factory func(shard int) Policy, capacity int64, shards int) *Pool {
 	if capacity <= 0 {
 		panic("buffer: capacity must be positive")
 	}
@@ -439,7 +439,6 @@ func (p *Pool) loadBatchPrefix(batch []*storage.Page) []*storage.Page {
 	var kept []*storage.Page
 	var frames []*Frame
 	var rest []*storage.Page
-	bytes = 0
 	var lastBlock iosim.BlockID
 	for i, pg := range batch {
 		s := p.shardOf(pg.ID)
@@ -468,12 +467,25 @@ func (p *Pool) loadBatchPrefix(batch []*storage.Page) []*storage.Page {
 		kept = append(kept, pg)
 		frames = append(frames, f)
 		lastBlock = pg.Block
-		bytes += pg.Bytes
 	}
 	if len(kept) == 0 {
 		return rest
 	}
-	p.disk.Read(kept[0].Block, len(kept), bytes)
+	// Issue the batch split at stripe-chunk boundaries, one sub-read per
+	// owning device with its exact page-byte volume; the devices transfer
+	// concurrently and ReadSpans returns when the last one completes. On a
+	// single-device array the batch stays one request, as it always was.
+	var spans []iosim.Span
+	for i, pg := range kept {
+		if i > 0 && !p.disk.StripeBoundary(pg.Block) {
+			s := &spans[len(spans)-1]
+			s.Blocks++
+			s.Bytes += pg.Bytes
+			continue
+		}
+		spans = append(spans, iosim.Span{Block: pg.Block, Blocks: 1, Bytes: pg.Bytes})
+	}
+	p.disk.ReadSpans(spans)
 	for i, pg := range kept {
 		s := p.shardOf(pg.ID)
 		s.mu.Lock()

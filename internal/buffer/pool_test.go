@@ -504,7 +504,7 @@ func TestShardCapacityBorrowing(t *testing.T) {
 // counter on any trace.
 func TestSingleShardMatchesNewPool(t *testing.T) {
 	trace := []int{0, 1, 2, 3, 0, 4, 5, 1, 6, 2, 7, 0, 3, 3, 5}
-	run := func(mk func(eng *sim.Engine, disk *iosim.Disk) *Pool) (Stats, sim.Time) {
+	run := func(mk func(eng *sim.Engine, disk *iosim.DeviceArray) *Pool) (Stats, sim.Time) {
 		eng := sim.NewEngine()
 		disk := iosim.New(rt.Sim(eng), iosim.Config{Bandwidth: 1e9, SeekLatency: 10 * time.Microsecond})
 		pool := mk(eng, disk)
@@ -517,10 +517,10 @@ func TestSingleShardMatchesNewPool(t *testing.T) {
 		eng.Run()
 		return pool.Stats(), eng.Now()
 	}
-	sa, ta := run(func(eng *sim.Engine, disk *iosim.Disk) *Pool {
+	sa, ta := run(func(eng *sim.Engine, disk *iosim.DeviceArray) *Pool {
 		return NewPool(rt.Sim(eng), disk, NewLRU(), 4*storage.PageSize)
 	})
-	sb, tb := run(func(eng *sim.Engine, disk *iosim.Disk) *Pool {
+	sb, tb := run(func(eng *sim.Engine, disk *iosim.DeviceArray) *Pool {
 		return NewShardedPool(rt.Sim(eng), disk, FactoryOf("LRU"), 4*storage.PageSize, 1)
 	})
 	if sa != sb || ta != tb {
@@ -554,5 +554,65 @@ func TestPropertyAccountingBalances(t *testing.T) {
 		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 			t.Fatalf("%s: %v", mk().Name(), err)
 		}
+	}
+}
+
+// GetRun's read-ahead batch over a striped array must split at stripe
+// boundaries into one sub-read per chunk segment, each carrying its exact
+// page bytes to the owning device — and the sub-reads must overlap across
+// devices, so the batch completes in the slowest device's time, not the
+// sum.
+func TestLoadBatchSplitsAtStripeBoundaries(t *testing.T) {
+	eng := sim.NewEngine()
+	// 2 devices, stripe chunk of 4 blocks.
+	disk := iosim.NewArray(rt.Sim(eng), iosim.ArrayConfig{
+		Config:      iosim.Config{Bandwidth: 1e6, SeekLatency: 0},
+		Devices:     2,
+		StripeChunk: 4,
+	})
+	pages := makePages(t, 16)
+	pool := NewPool(rt.Sim(eng), disk, NewLRU(), int64(len(pages))*storage.PageSize)
+	var end sim.Time
+	eng.Go("q", func() {
+		f := pool.GetRun(pages) // one 16-block contiguous run
+		pool.Unpin(f)
+		end = eng.Now()
+	})
+	eng.Run()
+	s := disk.Stats()
+	// Pages occupy blocks 1..16 (the catalog allocates from 1). GetRun
+	// batches the read-ahead tail (blocks 2..16), which the stripe split
+	// cuts into 5 chunk segments — {2,3} {4..7} {8..11} {12..15} {16} —
+	// and the pinned head page (block 1) is its own read: 6 requests.
+	if s.Requests != 6 {
+		t.Fatalf("requests = %d, want 5 chunk segments + 1 head page", s.Requests)
+	}
+	if s.BytesRead != 16*storage.PageSize {
+		t.Fatalf("bytes = %d, want exact page bytes", s.BytesRead)
+	}
+	// Chunks alternate devices, so each spindle owns 8 of the 16 pages.
+	if s.MaxDeviceBytes != s.MinDeviceBytes || s.MaxDeviceBytes != 8*storage.PageSize {
+		t.Fatalf("skew max=%d min=%d, want balanced 8 pages each", s.MaxDeviceBytes, s.MinDeviceBytes)
+	}
+	// The batch's device halves overlap: device 0 carries 7 batch pages,
+	// device 1 carries 8, so the batch completes at 8 pages' transfer
+	// time and the head-page read lands right after it on device 0 — 9
+	// page-times total instead of the 16 a single spindle needs.
+	pageTime := sim.Time(float64(storage.PageSize) / 1e6 * 1e9)
+	if want := 9 * pageTime; end != want {
+		t.Fatalf("end = %v, want %v (devices overlapped)", end, want)
+	}
+
+	// The same run on a single device stays one unsplit request.
+	eng1 := sim.NewEngine()
+	disk1 := iosim.New(rt.Sim(eng1), iosim.Config{Bandwidth: 1e6, SeekLatency: 0})
+	pages1 := makePages(t, 16)
+	pool1 := NewPool(rt.Sim(eng1), disk1, NewLRU(), int64(len(pages1))*storage.PageSize)
+	eng1.Go("q", func() {
+		pool1.Unpin(pool1.GetRun(pages1))
+	})
+	eng1.Run()
+	if s1 := disk1.Stats(); s1.Requests != 2 {
+		t.Fatalf("single-device requests = %d, want 1 unsplit batch + 1 head page", s1.Requests)
 	}
 }

@@ -25,7 +25,7 @@ import (
 // sys bundles one simulated instance with a chosen policy.
 type sys struct {
 	eng  *sim.Engine
-	disk *iosim.Disk
+	disk *iosim.DeviceArray
 	pool *buffer.Pool
 	pbm  *pbm.PBM
 	abm  *abm.ABM

@@ -1,0 +1,252 @@
+package iosim
+
+import "repro/internal/rt"
+
+// DefaultStripeChunk is the striping granularity in blocks (pages) when a
+// multi-device array is configured without an explicit chunk: 16 blocks of
+// 16 KiB pages is a 256 KiB stripe chunk, a typical RAID-0 setting — large
+// enough that short reads stay on one spindle, small enough that a scan's
+// read-ahead batch spans several.
+const DefaultStripeChunk = 16
+
+// ArrayConfig parameterizes a striped device array.
+type ArrayConfig struct {
+	// Config is the per-device model: each spindle keeps the full
+	// bandwidth and seek-penalty model, so aggregate sequential bandwidth
+	// scales with Devices.
+	Config
+	// Devices is the number of independent spindles (<= 0 means 1; a
+	// 1-device array is bit-identical to a bare Disk).
+	Devices int
+	// StripeChunk is the striping granularity in blocks (<= 0 means
+	// DefaultStripeChunk). Block b lives on device (b/StripeChunk) mod
+	// Devices.
+	StripeChunk int
+}
+
+// Span is one block-contiguous read request: a run of consecutive logical
+// blocks and its exact byte volume.
+type Span struct {
+	Block  BlockID
+	Blocks int
+	Bytes  int64
+}
+
+// DeviceArray stripes the logical block space over N independent Disks,
+// RAID-0 style: logical block b maps to device (b/chunk) mod N at
+// device-local block (b/(chunk*N))*chunk + b mod chunk, so a sequential
+// logical run is a sequential local run on every spindle it touches and
+// costs at most one seek per device. Requests to different devices
+// proceed concurrently in both runtimes; requests to the same device
+// queue FIFO behind each other exactly as on a single Disk.
+type DeviceArray struct {
+	r       rt.Runtime
+	devices []*Disk
+	chunk   int64
+}
+
+// New creates a single-device array — the historical one-disk model, used
+// by every figure experiment and bit-identical to the pre-array code.
+func New(r rt.Runtime, cfg Config) *DeviceArray {
+	return NewArray(r, ArrayConfig{Config: cfg, Devices: 1})
+}
+
+// NewArray creates a striped array of identical devices.
+func NewArray(r rt.Runtime, cfg ArrayConfig) *DeviceArray {
+	n := cfg.Devices
+	if n <= 0 {
+		n = 1
+	}
+	chunk := cfg.StripeChunk
+	if chunk <= 0 {
+		chunk = DefaultStripeChunk
+	}
+	a := &DeviceArray{r: r, devices: make([]*Disk, n), chunk: int64(chunk)}
+	for i := range a.devices {
+		a.devices[i] = NewDisk(r, cfg.Config)
+	}
+	return a
+}
+
+// Devices reports the number of spindles.
+func (a *DeviceArray) Devices() int { return len(a.devices) }
+
+// Device returns the i-th spindle (tests and trace hooks).
+func (a *DeviceArray) Device(i int) *Disk { return a.devices[i] }
+
+// StripeChunk reports the striping granularity in blocks.
+func (a *DeviceArray) StripeChunk() int { return int(a.chunk) }
+
+// Bandwidth reports the aggregate sequential bandwidth in bytes/second:
+// per-device bandwidth times the device count.
+func (a *DeviceArray) Bandwidth() float64 {
+	return a.devices[0].Bandwidth() * float64(len(a.devices))
+}
+
+// DeviceFor returns the index of the spindle that owns logical block b.
+func (a *DeviceArray) DeviceFor(b BlockID) int {
+	if len(a.devices) == 1 {
+		return 0
+	}
+	return int((int64(b) / a.chunk) % int64(len(a.devices)))
+}
+
+// localBlock maps a logical block to its device-local address, keeping
+// each spindle's share of a striped run contiguous in local block space.
+func (a *DeviceArray) localBlock(b BlockID) BlockID {
+	if len(a.devices) == 1 {
+		return b
+	}
+	stripe := int64(b) / a.chunk
+	row := stripe / int64(len(a.devices))
+	return BlockID(row*a.chunk + int64(b)%a.chunk)
+}
+
+// StripeBoundary reports whether logical block b begins a new stripe
+// chunk — the points where callers batching contiguous reads (the buffer
+// pool's read-ahead) must split a run so each piece carries its exact
+// byte volume to its owning device. Always false on a single-device
+// array, whose runs are never split.
+func (a *DeviceArray) StripeBoundary(b BlockID) bool {
+	return len(a.devices) > 1 && int64(b)%a.chunk == 0
+}
+
+// Read transfers a run of logical blocks, blocking the caller for the
+// modeled time. On a multi-device array the run is split at stripe-chunk
+// boundaries and the pieces proceed concurrently on their owning devices;
+// the call returns when the last piece completes.
+func (a *DeviceArray) Read(b BlockID, blocks int, bytes int64) {
+	if len(a.devices) == 1 {
+		a.devices[0].Read(b, blocks, bytes)
+		return
+	}
+	a.ReadSpans([]Span{{Block: b, Blocks: blocks, Bytes: bytes}})
+}
+
+// ReadSpans issues a batch of block runs as one request: every span is
+// split at stripe-chunk boundaries into per-device sub-reads, the
+// sub-reads are admitted to their owning devices' FIFO queues in span
+// order, and the caller blocks until the last one completes. Sub-reads on
+// different spindles overlap — this is where striping buys I/O
+// parallelism — while sub-reads on the same spindle queue behind each
+// other as usual.
+//
+// On a single-device array the spans degrade to plain sequential Reads in
+// order, bit-identical to the historical single-disk model.
+//
+// Queue accounting is batch-granular: every sub-read counts as queued on
+// its device from admission until the WHOLE batch completes (one caller,
+// one wake-up), so a spindle that finishes its share early still shows
+// the request outstanding until the slowest spindle is done. Per-device
+// MaxQueueLen therefore reports batch-level queue pressure, slightly
+// above the pure per-transfer depth.
+func (a *DeviceArray) ReadSpans(spans []Span) {
+	if len(a.devices) == 1 {
+		for _, s := range spans {
+			a.devices[0].Read(s.Block, s.Blocks, s.Bytes)
+		}
+		return
+	}
+	type subRead struct {
+		dev  int
+		span Span
+	}
+	var subs []subRead
+	for _, s := range spans {
+		b := s.Block
+		remBlocks := s.Blocks
+		remBytes := s.Bytes
+		if remBlocks <= 0 || remBytes <= 0 {
+			panic("iosim: bad span")
+		}
+		for remBlocks > 0 {
+			if remBytes < int64(remBlocks) {
+				// Degenerate span with fewer bytes than blocks: pro-rata
+				// pricing cannot reserve a positive byte count per chunk
+				// segment, so price the whole remainder on the first
+				// block's owning device (a single-device array accepts
+				// such spans unsplit too).
+				subs = append(subs, subRead{dev: a.DeviceFor(b), span: Span{Block: a.localBlock(b), Blocks: remBlocks, Bytes: remBytes}})
+				break
+			}
+			n := int(a.chunk - int64(b)%a.chunk)
+			if n > remBlocks {
+				n = remBlocks
+			}
+			// Callers that split at stripe boundaries themselves pass
+			// one-chunk spans with exact bytes; a span that does cross
+			// boundaries (the ABM's chunk stretches) is priced pro-rata
+			// by block count, conserving the total. With remBytes >=
+			// remBlocks (guarded above) the quotient is always in
+			// [1, remBytes-(remBlocks-n)], so every sub-read keeps a
+			// positive byte count and so does every later one.
+			by := remBytes
+			if n < remBlocks {
+				by = remBytes * int64(n) / int64(remBlocks)
+			}
+			subs = append(subs, subRead{dev: a.DeviceFor(b), span: Span{Block: a.localBlock(b), Blocks: n, Bytes: by}})
+			b += BlockID(n)
+			remBlocks -= n
+			remBytes -= by
+		}
+	}
+	// Admit every sub-read (device bookkeeping only, no blocking beyond
+	// FIFO admission), then sleep once until the last completes.
+	var until rt.Time
+	for _, s := range subs {
+		u := a.devices[s.dev].start(s.span.Block, s.span.Blocks, s.span.Bytes)
+		if u > until {
+			until = u
+		}
+	}
+	a.r.SleepUntil(until)
+	for _, s := range subs {
+		a.devices[s.dev].depart()
+	}
+}
+
+// ArrayStats aggregates the spindle counters of a DeviceArray.
+type ArrayStats struct {
+	// Stats sums BytesRead, Requests, Seeks and BusyTime over all devices;
+	// MaxQueueLen is the maximum over devices (queue depths on different
+	// spindles are concurrent, not additive).
+	Stats
+	// PerDevice holds each spindle's own counters, index = device.
+	PerDevice []Stats
+	// MaxDeviceBytes and MinDeviceBytes expose stripe skew: the bytes
+	// transferred by the busiest and the least-busy device. A large gap
+	// means the stripe chunk or the workload's block layout is keeping
+	// some spindles idle.
+	MaxDeviceBytes int64
+	MinDeviceBytes int64
+}
+
+// Stats returns a snapshot of the aggregate and per-device counters.
+func (a *DeviceArray) Stats() ArrayStats {
+	out := ArrayStats{PerDevice: make([]Stats, len(a.devices))}
+	for i, d := range a.devices {
+		s := d.Stats()
+		out.PerDevice[i] = s
+		out.BytesRead += s.BytesRead
+		out.Requests += s.Requests
+		out.Seeks += s.Seeks
+		out.BusyTime += s.BusyTime
+		if s.MaxQueueLen > out.MaxQueueLen {
+			out.MaxQueueLen = s.MaxQueueLen
+		}
+		if i == 0 || s.BytesRead > out.MaxDeviceBytes {
+			out.MaxDeviceBytes = s.BytesRead
+		}
+		if i == 0 || s.BytesRead < out.MinDeviceBytes {
+			out.MinDeviceBytes = s.BytesRead
+		}
+	}
+	return out
+}
+
+// ResetStats zeroes every spindle's counters (device positions are kept).
+func (a *DeviceArray) ResetStats() {
+	for _, d := range a.devices {
+		d.ResetStats()
+	}
+}

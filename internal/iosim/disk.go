@@ -8,7 +8,13 @@
 // other down and destroy sequential locality — the core problem statement
 // of §1).
 //
-// The device is runtime-agnostic: on the sim runtime a read suspends the
+// Two layers make up the subsystem: Disk is one spindle with the model
+// above, and DeviceArray (array.go) stripes blocks over N disks RAID-0
+// style so independent requests to different spindles proceed in parallel
+// — the multi-device testbed shape of the paper's SSD RAID. A 1-device
+// array is bit-identical to a bare Disk.
+//
+// The devices are runtime-agnostic: on the sim runtime a read suspends the
 // calling process in virtual time; on the real runtime the same bandwidth
 // model is timed on the wall clock, so a read really blocks the calling
 // goroutine for the modeled device time and concurrent readers really
@@ -19,14 +25,16 @@ package iosim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/rt"
 )
 
 // BlockID identifies a physical disk block (a page's home location). IDs
-// are allocated densely per device; two blocks are "sequential" when their
-// IDs are consecutive.
+// are allocated densely; two blocks are "sequential" when their IDs are
+// consecutive. On a DeviceArray the ID is a logical address that striping
+// maps to a (device, device-local block) pair.
 type BlockID int64
 
 // Stats aggregates device activity.
@@ -38,17 +46,32 @@ type Stats struct {
 	MaxQueueLen int // high-water mark of queued requests
 }
 
-// Disk is a simulated block device.
+// Disk is one simulated spindle: a block device with fixed sequential
+// bandwidth, a seek penalty, and a FIFO request queue.
 type Disk struct {
 	r rt.Runtime
 
 	bandwidth   float64 // bytes per second of sequential transfer
 	seekLatency rt.Duration
 
-	// mu guards the device position, queue and counters. Uncontended in
-	// sim mode (single running process); serializes request admission in
-	// real mode, which is exactly the FIFO device queue being modeled.
+	// Admission is a ticket lock: a request's arrival is linearized by an
+	// atomic fetch-add on tickets — deliberately OUTSIDE mu, because a
+	// ticket handed out under the mutex would just inherit sync.Mutex's
+	// barging order — and requests are serviced strictly in ticket order
+	// (start waits on admit until serving reaches its ticket). That makes
+	// the device queue genuinely FIFO by arrival on the real runtime,
+	// where mutex barging would otherwise let a late-arriving goroutine
+	// overtake goroutines that registered long before it and reorder the
+	// queue arbitrarily (and with it the Seeks and MaxQueueLen
+	// accounting). In sim mode exactly one process runs at a time and
+	// bookkeeping never blocks, so a request's ticket is always the one
+	// being served and admit never waits.
+	tickets atomic.Int64 // next ticket to hand out (arrival order)
+
+	// mu guards the device position, queue and counters.
 	mu        sync.Mutex
+	admit     *sync.Cond // signalled when serving advances
+	serving   int64      // ticket currently admitted to bookkeeping
 	busyUntil rt.Time
 	lastBlock BlockID
 	haveLast  bool
@@ -64,7 +87,8 @@ type Disk struct {
 
 // Config parameterizes a simulated disk.
 type Config struct {
-	// Bandwidth is the sequential transfer rate in bytes per second.
+	// Bandwidth is the sequential transfer rate in bytes per second (per
+	// device on an array).
 	Bandwidth float64
 	// SeekLatency is added to any request that does not continue the
 	// previous request's block run.
@@ -75,15 +99,18 @@ type Config struct {
 // paper's testbed is an SSD RAID, so seeks are cheap but not free.
 const DefaultSeekLatency = 100 * time.Microsecond
 
-// New creates a disk attached to the runtime.
-func New(r rt.Runtime, cfg Config) *Disk {
+// NewDisk creates a single spindle attached to the runtime. Engine code
+// normally wires a DeviceArray (see New/NewArray) instead.
+func NewDisk(r rt.Runtime, cfg Config) *Disk {
 	if cfg.Bandwidth <= 0 {
 		panic("iosim: bandwidth must be positive")
 	}
 	if cfg.SeekLatency < 0 {
 		panic("iosim: negative seek latency")
 	}
-	return &Disk{r: r, bandwidth: cfg.Bandwidth, seekLatency: cfg.SeekLatency}
+	d := &Disk{r: r, bandwidth: cfg.Bandwidth, seekLatency: cfg.SeekLatency}
+	d.admit = sync.NewCond(&d.mu)
+	return d
 }
 
 // Bandwidth reports the configured sequential bandwidth in bytes/second.
@@ -91,16 +118,37 @@ func (d *Disk) Bandwidth() float64 { return d.bandwidth }
 
 // Read transfers a run of blocks starting at block b, totalling the given
 // number of bytes, blocking the calling process for the simulated device
-// time. Concurrent readers queue FIFO. blocks is the number of consecutive
-// BlockIDs covered (used for sequentiality tracking).
+// time. Concurrent readers queue FIFO in ticket order. blocks is the
+// number of consecutive BlockIDs covered (used for sequentiality
+// tracking).
 func (d *Disk) Read(b BlockID, blocks int, bytes int64) {
+	until := d.start(b, blocks, bytes)
+	d.r.SleepUntil(until)
+	d.depart()
+}
+
+// start admits one request through the ticketed FIFO queue, accounts for
+// it, and returns its completion time WITHOUT blocking for the transfer
+// itself. DeviceArray uses the start/depart split to admit the sub-reads
+// of one striped request on several devices and then sleep once until the
+// last of them completes.
+func (d *Disk) start(b BlockID, blocks int, bytes int64) rt.Time {
 	if bytes <= 0 || blocks <= 0 {
 		panic(fmt.Sprintf("iosim: bad read: %d blocks, %d bytes", blocks, bytes))
 	}
+	// Arrival: the atomic increment is the linearization point that fixes
+	// this request's queue position, before any mutex is contended.
+	ticket := d.tickets.Add(1) - 1
 	d.mu.Lock()
 	d.queued++
 	if d.queued > d.stats.MaxQueueLen {
 		d.stats.MaxQueueLen = d.queued
+	}
+	// Real runtime: wait for our turn; every admission broadcasts, and
+	// exactly one waiter's ticket matches the new serving value. Sim
+	// runtime: never waits (see the tickets field comment).
+	for ticket != d.serving {
+		d.admit.Wait()
 	}
 
 	start := d.r.Now()
@@ -123,10 +171,14 @@ func (d *Disk) Read(b BlockID, blocks int, bytes int64) {
 	if d.OnRead != nil {
 		d.OnRead(b, bytes)
 	}
+	d.serving++
+	d.admit.Broadcast()
 	d.mu.Unlock()
+	return until
+}
 
-	d.r.SleepUntil(until)
-
+// depart retires one completed request from the queue accounting.
+func (d *Disk) depart() {
 	d.mu.Lock()
 	d.queued--
 	d.mu.Unlock()

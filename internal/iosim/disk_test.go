@@ -10,7 +10,7 @@ import (
 )
 
 func newTestDisk(eng *sim.Engine, bw float64) *Disk {
-	return New(rt.Sim(eng), Config{Bandwidth: bw, SeekLatency: time.Millisecond})
+	return NewDisk(rt.Sim(eng), Config{Bandwidth: bw, SeekLatency: time.Millisecond})
 }
 
 func TestSequentialReadTime(t *testing.T) {
@@ -130,7 +130,7 @@ func TestPropertyBandwidthIsCeiling(t *testing.T) {
 			return true
 		}
 		eng := sim.NewEngine()
-		d := New(rt.Sim(eng), Config{Bandwidth: 1e6, SeekLatency: 0})
+		d := NewDisk(rt.Sim(eng), Config{Bandwidth: 1e6, SeekLatency: 0})
 		var total int64
 		var end sim.Time
 		eng.Go("r", func() {

@@ -100,3 +100,35 @@ func TestGroupCostHookMatchesSingle(t *testing.T) {
 		t.Fatalf("group estimate %v != single %v", ge, se)
 	}
 }
+
+// A zero/unset DefaultSpeed must not poison the cost estimate with +Inf:
+// the estimate clamps to a positive floor and stays finite, positive and
+// monotonic in scan length, so sesf ordering still works on the fallback
+// path.
+func TestEstimateScanTimeClampsZeroSpeed(t *testing.T) {
+	p := New(&fakeClock{}, testCfg())
+	// New normalizes a zero DefaultSpeed, so force the hazard directly:
+	// any path that leaves the average at zero (or negative) must hit the
+	// pricing floor instead of dividing to +Inf.
+	p.cfg.DefaultSpeed = 0
+
+	short := p.EstimateScanTime(1_000)
+	long := p.EstimateScanTime(2_000)
+	if short <= 0 || long <= 0 {
+		t.Fatalf("non-positive estimates: short=%v long=%v", short, long)
+	}
+	if short >= long {
+		t.Fatalf("estimate not monotonic on fallback path: short=%v long=%v", short, long)
+	}
+	// At the 1 tuple/s floor, 1000 tuples price at 1000 seconds exactly.
+	if want := sim.Duration(1000 * time.Second); short != want {
+		t.Fatalf("short = %v, want %v at the floor speed", short, want)
+	}
+	// Enormous scans must cap instead of overflowing into negative costs.
+	if huge := p.EstimateScanTime(1 << 62); huge <= 0 {
+		t.Fatalf("huge scan estimate overflowed: %v", huge)
+	}
+	if p.EstimateScanTime(0) != 0 {
+		t.Fatal("zero tuples must price at zero")
+	}
+}

@@ -704,6 +704,19 @@ func (p *PBM) AvgScanSpeed() float64 {
 	return sum / float64(len(ids))
 }
 
+// minCostSpeed is the floor applied to the speed estimate when pricing
+// scans for admission: a zero/unset DefaultSpeed with no observed scans
+// must yield a large-but-finite cost — a +Inf estimate poisons sesf's
+// ordering (every query ties at +Inf and the cost signal disappears) and
+// NaNs any arithmetic downstream. One tuple/second keeps the estimate
+// monotonic in scan length even on the fallback path.
+const minCostSpeed = 1
+
+// maxCostSec caps the estimate so the sim.Duration conversion cannot
+// overflow int64 nanoseconds into a negative cost (which would sort
+// AHEAD of every real query under sesf).
+const maxCostSec = 1e9
+
 // EstimateScanTime is the admission cost hook (exec.ScanCostModel): the
 // expected execution time of a fresh scan over tuples tuples, priced at
 // the average observed scan speed. It turns PBM's speed estimates — built
@@ -714,7 +727,15 @@ func (p *PBM) EstimateScanTime(tuples int64) sim.Duration {
 	if tuples <= 0 {
 		return 0
 	}
-	return sim.Duration(float64(tuples) / p.AvgScanSpeed() * 1e9)
+	speed := p.AvgScanSpeed()
+	if speed < minCostSpeed {
+		speed = minCostSpeed
+	}
+	secs := float64(tuples) / speed
+	if secs > maxCostSec {
+		secs = maxCostSec
+	}
+	return sim.Duration(secs * 1e9)
 }
 
 // BucketSizes returns the number of pages in each requested bucket plus

@@ -224,16 +224,43 @@ func (w *wfqPolicy) Next() *Pending {
 	q := w.queues[best]
 	item := q[0]
 	if len(q) == 1 {
-		// The tenant's lastTag survives, so a tenant that drains and
-		// returns resumes from max(vtime, its own tag) rather than
-		// claiming back-service for its idle period.
+		// The tenant's lastTag survives (until pruned below), so a tenant
+		// that drains and returns resumes from max(vtime, its own tag)
+		// rather than claiming back-service for its idle period.
 		delete(w.queues, best)
 	} else {
 		w.queues[best] = q[1:]
 	}
 	w.n--
 	w.vtime = item.tag
+	w.prune()
 	return item.p
+}
+
+// prune drops per-tenant state that can no longer influence any future
+// tag: a drained tenant whose last tag has fallen behind the virtual
+// clock would restart from vtime anyway (Enqueue takes max(vtime,
+// lastTag)), so its entry is semantically identical to an absent one.
+// Without this, a long serving run with churning tenant ids — every
+// connection mapped to a fresh fairness domain — grows lastTag without
+// bound. Deletion order does not matter: no output depends on which
+// stale entries go first, so map iteration keeps runs deterministic.
+func (w *wfqPolicy) prune() {
+	if len(w.lastTag) <= len(w.queues) {
+		// Every lastTag entry has a backlogged queue: nothing is
+		// prunable, and skipping the sweep keeps fully-loaded admission
+		// at the min-scan cost it already pays.
+		return
+	}
+	for tenant, tag := range w.lastTag {
+		if tag > w.vtime {
+			continue // still ahead: the tenant banked no credit but owes service time
+		}
+		if _, queued := w.queues[tenant]; queued {
+			continue
+		}
+		delete(w.lastTag, tenant)
+	}
 }
 
 // TenantStat is one tenant's slice of the serving report: completion

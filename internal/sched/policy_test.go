@@ -275,3 +275,67 @@ func TestTenantStats(t *testing.T) {
 		t.Fatalf("idle tenant stats %+v", got[2])
 	}
 }
+
+// Long serving runs with churning tenant ids must not leak per-tenant
+// wfq state: once a tenant's queue drains and its tag falls behind the
+// virtual clock, its bookkeeping is dropped (an absent entry restarts
+// from vtime, which is semantically identical).
+func TestWFQPrunesDepartedTenants(t *testing.T) {
+	w := newWFQ(nil)
+	order := int64(0)
+	for tenant := 0; tenant < 10_000; tenant++ {
+		w.Enqueue(&Pending{Tenant: tenant, Order: order})
+		order++
+		if w.Next() == nil {
+			t.Fatal("queued query not admitted")
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("queue len %d after draining", w.Len())
+	}
+	// Admitting a tenant's last query advances vtime to its tag, so every
+	// departed tenant is immediately prunable.
+	if len(w.lastTag) > 1 || len(w.queues) != 0 {
+		t.Fatalf("state leaked across tenant churn: %d lastTag, %d queues",
+			len(w.lastTag), len(w.queues))
+	}
+}
+
+// Pruning must not change admission semantics: a drained tenant whose
+// tag is still AHEAD of vtime keeps its entry, so it cannot bank credit
+// by draining and re-enqueueing, while a fallen-behind tenant restarts
+// from vtime exactly as if it had never been seen.
+func TestWFQPruneKeepsAheadTenants(t *testing.T) {
+	w := newWFQ(map[int]float64{0: 1, 1: 4})
+	// Tenant 0 (weight 1) enqueues twice: tags 1 and 2. Tenant 1 (weight
+	// 4) enqueues once: tag 0.25.
+	w.Enqueue(&Pending{Tenant: 0, Order: 0})
+	w.Enqueue(&Pending{Tenant: 0, Order: 1})
+	w.Enqueue(&Pending{Tenant: 1, Order: 2})
+	// Admit tenant 1's query (tag 0.25 < 1): it drains, and vtime=0.25 is
+	// behind tenant 0's lastTag=2, so tenant 0's entry must survive.
+	if p := w.Next(); p.Tenant != 1 {
+		t.Fatalf("admitted tenant %d, want 1", p.Tenant)
+	}
+	if _, ok := w.lastTag[0]; !ok {
+		t.Fatal("backlogged tenant pruned")
+	}
+	if _, ok := w.lastTag[1]; ok {
+		t.Fatal("drained, fallen-behind tenant not pruned")
+	}
+	// Tenant 0's two queries still admit in FIFO order with their original
+	// tags (1 then 2), proving pruning left its state untouched.
+	if p := w.Next(); p.Tenant != 0 || p.Order != 0 {
+		t.Fatalf("got %+v, want tenant 0 order 0", p)
+	}
+	// vtime is now 1, still behind tenant 0's lastTag 2: entry survives
+	// while its queue is non-empty either way.
+	if p := w.Next(); p.Tenant != 0 || p.Order != 1 {
+		t.Fatalf("got %+v, want tenant 0 order 1", p)
+	}
+	// Everything drained and vtime caught up: all state gone.
+	if len(w.lastTag) != 0 || len(w.queues) != 0 || w.Len() != 0 {
+		t.Fatalf("state not fully pruned: %d lastTag, %d queues, len %d",
+			len(w.lastTag), len(w.queues), w.Len())
+	}
+}

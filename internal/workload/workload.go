@@ -91,6 +91,19 @@ type Config struct {
 	// single-pool baseline the paper's figures are reproduced with. The
 	// serving driver defaults to buffer.DefaultShards instead.
 	PoolShards int
+	// Devices is the number of independent spindles in the striped disk
+	// array; 0 (and 1) mean the single-device model the paper's figures
+	// are reproduced with. Each device keeps the full BandwidthMB, so
+	// aggregate sequential bandwidth scales with the device count.
+	Devices int
+	// StripeChunk is the array's striping granularity in blocks (pages);
+	// 0 means iosim.DefaultStripeChunk. Ignored when Devices <= 1.
+	StripeChunk int
+	// ReadAheadTuples overrides the scans' per-column read-ahead window
+	// when positive (default 8192 tuples). Deeper read-ahead turns into
+	// longer load batches, which is what a striped array fans out across
+	// its spindles.
+	ReadAheadTuples int64
 	// Real selects the real-threaded wall-clock runtime instead of the
 	// deterministic simulator: streams run as goroutines, the disk model
 	// prices reads in real sleeps, and XChg fans out on a worker pool of
@@ -149,6 +162,9 @@ type Result struct {
 	Sharing       []SharingSample
 	PoolStats     buffer.Stats
 	ABMStats      abm.Stats
+	// DiskStats is the device array's aggregate and per-device report,
+	// including the stripe-skew (max/min device bytes) counters.
+	DiskStats iosim.ArrayStats
 }
 
 // OPTIOBytes replays the run's trace under Belady's OPT (§4's
@@ -165,7 +181,7 @@ func (r *Result) OPTIOBytes() int64 {
 type env struct {
 	cfg    Config
 	rt     rt.Runtime
-	disk   *iosim.Disk
+	disk   *iosim.DeviceArray
 	pool   *buffer.Pool
 	pbm    *pbm.Group
 	abm    *abm.ABM
@@ -181,9 +197,13 @@ func newEnv(cfg Config, accessedBytes int64) *env {
 	} else {
 		e.rt = rt.Sim(sim.NewEngine())
 	}
-	e.disk = iosim.New(e.rt, iosim.Config{
-		Bandwidth:   cfg.BandwidthMB * 1e6,
-		SeekLatency: 50 * time.Microsecond,
+	e.disk = iosim.NewArray(e.rt, iosim.ArrayConfig{
+		Config: iosim.Config{
+			Bandwidth:   cfg.BandwidthMB * 1e6,
+			SeekLatency: 50 * time.Microsecond,
+		},
+		Devices:     cfg.Devices,
+		StripeChunk: cfg.StripeChunk,
 	})
 	capBytes := int64(cfg.BufferFrac * float64(accessedBytes))
 	if capBytes < 256<<10 {
@@ -192,11 +212,15 @@ func newEnv(cfg Config, accessedBytes int64) *env {
 	e.result.BufferBytes = capBytes
 	e.result.AccessedBytes = accessedBytes
 
+	ra := cfg.ReadAheadTuples
+	if ra <= 0 {
+		ra = 8192
+	}
 	e.ctx = &exec.Ctx{
 		RT:              e.rt,
 		CPU:             exec.NewCPU(e.rt, cfg.Cores),
 		PerTupleCPU:     cfg.PerTupleCPU,
-		ReadAheadTuples: 8192,
+		ReadAheadTuples: ra,
 	}
 	if cfg.Real {
 		e.ctx.Workers = rt.NewWorkerPool(e.rt, cfg.Cores)
@@ -322,6 +346,7 @@ func (e *env) finish(streamEnds []sim.Time) *Result {
 	if e.rec != nil {
 		e.result.Trace = e.rec.Refs()
 	}
+	e.result.DiskStats = e.disk.Stats()
 	return e.result
 }
 

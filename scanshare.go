@@ -65,7 +65,16 @@ type (
 	Result = workload.Result
 	// TPCHDB is a generated TPC-H-shaped database.
 	TPCHDB = tpch.DB
+	// DeviceArray is the striped multi-spindle disk model a System reads
+	// through (1 device = the paper's single disk).
+	DeviceArray = iosim.DeviceArray
+	// ArrayStats is the device array's aggregate + per-device + skew
+	// report (Result.DiskStats).
+	ArrayStats = iosim.ArrayStats
 )
+
+// DefaultStripeChunk is the default striping granularity in blocks.
+const DefaultStripeChunk = iosim.DefaultStripeChunk
 
 // Column type constants.
 const (
@@ -122,6 +131,14 @@ type SystemConfig struct {
 	// under CScan, whose ABM replaces the pool). A 1-shard pool is
 	// bit-identical to the historical unsharded buffer manager.
 	PoolShards int
+	// Devices is the number of independent spindles in the striped disk
+	// array (default 1, bit-identical to the historical single-disk
+	// model). Each device keeps the full BandwidthMB, so aggregate
+	// sequential bandwidth scales with the device count.
+	Devices int
+	// StripeChunk is the array's striping granularity in blocks/pages
+	// (default iosim.DefaultStripeChunk); ignored when Devices <= 1.
+	StripeChunk int
 	// Real runs the system on the real-threaded wall-clock runtime
 	// instead of the deterministic simulator: Go spawns goroutines,
 	// sleeps and modeled disk time are wall time, and runs are not
@@ -142,7 +159,7 @@ type System struct {
 	// the real-threaded runtime.
 	RT      rt.Runtime
 	Eng     *sim.Engine // the simulation engine; nil under SystemConfig.Real
-	Disk    *iosim.Disk
+	Disk    *iosim.DeviceArray
 	Pool    *buffer.Pool // nil under CScan
 	PBM     *pbm.Group   // non-nil under PBM/PBMLRU: one instance per pool shard
 	ABM     *abm.ABM     // non-nil under CScan
@@ -174,9 +191,13 @@ func NewSystem(cfg SystemConfig) *System {
 		s.Eng = sim.NewEngine()
 		s.RT = rt.Sim(s.Eng)
 	}
-	s.Disk = iosim.New(s.RT, iosim.Config{
-		Bandwidth:   cfg.BandwidthMB * 1e6,
-		SeekLatency: 50 * time.Microsecond,
+	s.Disk = iosim.NewArray(s.RT, iosim.ArrayConfig{
+		Config: iosim.Config{
+			Bandwidth:   cfg.BandwidthMB * 1e6,
+			SeekLatency: 50 * time.Microsecond,
+		},
+		Devices:     cfg.Devices,
+		StripeChunk: cfg.StripeChunk,
 	})
 	s.Ctx = &exec.Ctx{
 		RT:              s.RT,

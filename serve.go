@@ -79,6 +79,15 @@ type ServeOptions struct {
 	// sweep measures the sharding effect instead of asserting it. CScan
 	// rows ignore it (the ABM replaces the pool) and run once.
 	Shards []int
+	// Devices is the disk-array spindle-count axis (default {1}): each
+	// cell runs once per device count, rows adjacent, so the I/O-scaling
+	// effect of striping reads off one table (`scanbench -devices 1,4`).
+	// Unlike Shards it applies to CScan rows too — the ABM reads through
+	// the same array.
+	Devices []int
+	// StripeChunk overrides the array striping granularity in blocks for
+	// every multi-device cell (0 = iosim.DefaultStripeChunk).
+	StripeChunk int
 	// AdmissionPolicies is the admission-policy axis (default {"fifo"}):
 	// each cell of the sweep runs once per named policy, rows adjacent,
 	// so the fifo/sesf/wfq SLO comparison reads off one table. Names must
@@ -109,6 +118,7 @@ func DefaultServeOptions() ServeOptions {
 		MPLs:              []int{8, 32},
 		Policies:          []Policy{LRU, Clock, PBM, CScan},
 		Shards:            []int{1, DefaultPoolShards},
+		Devices:           []int{1},
 		AdmissionPolicies: []string{"fifo"},
 		SLO:               250 * time.Millisecond,
 	}
@@ -138,6 +148,17 @@ func (o ServeOptions) fill() ServeOptions {
 	if len(o.Shards) == 0 {
 		o.Shards = d.Shards
 	}
+	// Drop non-positive device counts the same way.
+	devices := o.Devices[:0:0]
+	for _, n := range o.Devices {
+		if n > 0 {
+			devices = append(devices, n)
+		}
+	}
+	o.Devices = devices
+	if len(o.Devices) == 0 {
+		o.Devices = d.Devices
+	}
 	if len(o.AdmissionPolicies) == 0 {
 		o.AdmissionPolicies = d.AdmissionPolicies
 	}
@@ -155,6 +176,7 @@ type ServeRow struct {
 	MPL        int
 	Policy     string // buffer-management policy
 	Shards     int    // buffer-pool shard count (0 for CScan rows: no pool)
+	Devices    int    // disk-array spindle count
 	Admission  string // admission policy (fifo/sesf/wfq)
 	Completed  int64
 	Rejected   int64
@@ -165,6 +187,10 @@ type ServeRow struct {
 	QWaitP95ms float64 // queue-wait p95 (virtual ms)
 	SLOPct     float64 // fraction of completed queries meeting the SLO, 0..100
 	IOMB       float64
+	// ReadMBps is the achieved aggregate read bandwidth over the run's
+	// makespan (device bytes / elapsed), the column that makes the
+	// multi-device scaling effect measurable.
+	ReadMBps float64
 	// TenantP95ms and TenantSLOPct break p95 latency and SLO attainment
 	// down by tenant id (index = tenant), exposing what the aggregate
 	// hides: which tenant pays the overload tail under each admission
@@ -174,12 +200,13 @@ type ServeRow struct {
 }
 
 // serveRowOf flattens one serving result into the sweep's row shape.
-func serveRowOf(res *workload.ServeResult, rate float64, mpl int, pol Policy, shards int, admission string) ServeRow {
+func serveRowOf(res *workload.ServeResult, rate float64, mpl int, pol Policy, shards, devices int, admission string) ServeRow {
 	row := ServeRow{
 		Rate:       rate,
 		MPL:        mpl,
 		Policy:     pol.String(),
 		Shards:     shards,
+		Devices:    devices,
 		Admission:  admission,
 		Completed:  res.Sched.Completed,
 		Rejected:   res.Sched.Rejected,
@@ -190,6 +217,9 @@ func serveRowOf(res *workload.ServeResult, rate float64, mpl int, pol Policy, sh
 		QWaitP95ms: ms(res.Sched.QueueWait.P95),
 		SLOPct:     res.Sched.SLOAttainment * 100,
 		IOMB:       mb(res.TotalIOBytes),
+	}
+	if res.ElapsedSec > 0 {
+		row.ReadMBps = mb(res.DiskStats.BytesRead) / res.ElapsedSec
 	}
 	for _, ts := range res.Tenants {
 		row.TenantP95ms = append(row.TenantP95ms, ms(ts.P95))
@@ -212,11 +242,12 @@ func validateAdmission(names ...string) {
 }
 
 // ServeSweep runs the arrival-rate x MPL x buffer-policy x shard-count x
-// admission-policy cross product and returns one row per cell: shards=1
-// and sharded rows adjacent so the sharding effect reads off one table,
-// and admission-policy rows of one cell adjacent so the fifo/sesf/wfq
-// SLO comparison does too. Unregistered admission-policy names panic
-// before any data is generated.
+// device-count x admission-policy cross product and returns one row per
+// cell: shards=1 and sharded rows adjacent so the sharding effect reads
+// off one table, device counts of one cell adjacent so the striping
+// effect does too, and admission-policy rows likewise for the
+// fifo/sesf/wfq SLO comparison. Unregistered admission-policy names
+// panic before any data is generated.
 func ServeSweep(o ServeOptions) []ServeRow {
 	o = o.fill()
 	validateAdmission(o.AdmissionPolicies...)
@@ -231,23 +262,29 @@ func ServeSweep(o ServeOptions) []ServeRow {
 					shardAxis = []int{0}
 				}
 				for _, shards := range shardAxis {
-					for _, adm := range o.AdmissionPolicies {
-						cfg := DefaultServeConfig()
-						cfg.Config = o.apply(cfg.Config)
-						cfg.Config.Real = o.Real
-						cfg.Policy = pol
-						cfg.ArrivalRate = rate
-						cfg.MPL = mpl
-						cfg.QueueDepth = o.QueueDepth
-						cfg.SLO = o.SLO
-						cfg.AdmissionPolicy = adm
-						cfg.Tenants = o.Tenants
-						cfg.TenantWeights = o.TenantWeights
-						if shards > 0 {
-							cfg.PoolShards = shards
+					for _, devices := range o.Devices {
+						for _, adm := range o.AdmissionPolicies {
+							cfg := DefaultServeConfig()
+							cfg.Config = o.apply(cfg.Config)
+							cfg.Config.Real = o.Real
+							cfg.Policy = pol
+							cfg.ArrivalRate = rate
+							cfg.MPL = mpl
+							cfg.QueueDepth = o.QueueDepth
+							cfg.SLO = o.SLO
+							cfg.AdmissionPolicy = adm
+							cfg.Tenants = o.Tenants
+							cfg.TenantWeights = o.TenantWeights
+							if shards > 0 {
+								cfg.PoolShards = shards
+							}
+							cfg.Config.Devices = devices
+							if o.StripeChunk > 0 {
+								cfg.Config.StripeChunk = o.StripeChunk
+							}
+							res := workload.RunServe(db, cfg)
+							out = append(out, serveRowOf(res, rate, mpl, pol, shards, devices, adm))
 						}
-						res := workload.RunServe(db, cfg)
-						out = append(out, serveRowOf(res, rate, mpl, pol, shards, adm))
 					}
 				}
 			}
@@ -274,6 +311,10 @@ type CompareOptions struct {
 	Policy Policy
 	// Shards is the buffer-pool shard count (default 8).
 	Shards int
+	// Devices is the disk-array spindle count (default 1).
+	Devices int
+	// StripeChunk is the striping granularity in blocks (0 = default).
+	StripeChunk int
 	// Admission names the admission policy for both loops (default
 	// "fifo").
 	Admission string
@@ -320,6 +361,9 @@ func Compare(o CompareOptions) CompareReport {
 	if o.Shards <= 0 {
 		o.Shards = d.Shards
 	}
+	if o.Devices <= 0 {
+		o.Devices = 1
+	}
 	if o.Admission == "" {
 		o.Admission = "fifo"
 	}
@@ -330,6 +374,8 @@ func Compare(o CompareOptions) CompareReport {
 	cfg.Config.Real = o.Real
 	cfg.Policy = o.Policy
 	cfg.PoolShards = o.Shards
+	cfg.Config.Devices = o.Devices
+	cfg.Config.StripeChunk = o.StripeChunk
 	cfg.ArrivalRate = o.Rate
 	cfg.MPL = o.MPL
 	cfg.QueueDepth = o.QueueDepth
@@ -341,7 +387,7 @@ func Compare(o CompareOptions) CompareReport {
 	}
 	res := workload.RunCompare(db, cfg)
 	row := func(r *workload.ServeResult) ServeRow {
-		return serveRowOf(r, o.Rate, o.MPL, o.Policy, o.Shards, o.Admission)
+		return serveRowOf(r, o.Rate, o.MPL, o.Policy, o.Shards, o.Devices, o.Admission)
 	}
 	rep := CompareReport{Open: row(res.Open), Closed: row(res.Closed)}
 	rep.GapP50ms = rep.Open.P50ms - rep.Closed.P50ms
