@@ -71,6 +71,8 @@ func main() {
 		weights  = flag.String("weights", "", "serve/compare: comma-separated per-tenant wfq weights, index = tenant id (default all 1)")
 		queue    = flag.Int("queue", 0, "serve/compare: admission queue depth (0 = default 64, negative = unbounded)")
 		slo      = flag.Duration("slo", 0, "serve/compare: end-to-end latency SLO (default 250ms)")
+		sels     = flag.String("selectivities", "", "serve: comma-separated predicate selectivities in (0,1] (default 1 = unrestricted scans); below 1 every query carries an l_shipdate window of that fraction of the date domain, pruned by the zone maps")
+		cluster  = flag.Bool("clustered", false, "serve: generate lineitem sorted by l_shipdate so the zone maps have physical structure to prune against")
 	)
 	flag.Parse()
 	rateAxis := parseAxis("rates", *rates, parseFloat64)
@@ -78,6 +80,13 @@ func main() {
 	shardAxis := parseAxis("shards", *shards, strconv.Atoi)
 	deviceAxis := parseAxis("devices", *devices, strconv.Atoi)
 	weightAxis := parseAxis("weights", *weights, parseFloat64)
+	selAxis := parseAxis("selectivities", *sels, parseFloat64)
+	for _, s := range selAxis {
+		if s > 1 {
+			fmt.Fprintf(os.Stderr, "scanbench: -selectivities: bad element %g: must be in (0,1]\n", s)
+			os.Exit(2)
+		}
+	}
 	policyAxis := parseAdmissionPolicies(*policies)
 	if *tenants < 0 {
 		fmt.Fprintf(os.Stderr, "scanbench: -tenants: bad value %d: must be positive (0 = default)\n", *tenants)
@@ -109,6 +118,10 @@ func main() {
 		}
 	}
 	if *compare {
+		if len(selAxis) > 0 || *cluster {
+			fmt.Fprintln(os.Stderr, "scanbench: -selectivities/-clustered apply only to -serve")
+			os.Exit(2)
+		}
 		co := scanshare.DefaultCompareOptions()
 		co.Options = opts
 		co.Options.PoolShards = 0
@@ -149,6 +162,8 @@ func main() {
 			AdmissionPolicies: policyAxis,
 			Tenants:           *tenants,
 			TenantWeights:     weightAxis,
+			Selectivities:     selAxis,
+			Clustered:         *cluster,
 			QueueDepth:        *queue,
 			SLO:               *slo,
 			Real:              *real,
@@ -167,6 +182,10 @@ func main() {
 	}
 	if len(rateAxis) > 0 || len(mplAxis) > 0 || len(policyAxis) > 0 || len(weightAxis) > 0 || *tenants != 0 {
 		fmt.Fprintln(os.Stderr, "scanbench: -rates/-mpls/-policies/-weights/-tenants apply only to -serve/-compare")
+		os.Exit(2)
+	}
+	if len(selAxis) > 0 || *cluster {
+		fmt.Fprintln(os.Stderr, "scanbench: -selectivities/-clustered apply only to -serve")
 		os.Exit(2)
 	}
 	if flag.NArg() < 1 {
@@ -320,12 +339,13 @@ func printAblation(rows []scanshare.AblationRow, tsv bool) {
 }
 
 // printServe renders the serving sweep: one row per (rate, MPL, policy,
-// pool shards, devices, admission policy) cell with throughput, latency
-// percentiles, SLO attainment, the per-tenant p95/SLO breakdown, and the
-// achieved aggregate read bandwidth; shard counts, device counts and
-// admission policies of the same cell print adjacent so all three effects
-// read off directly. CScan rows print "-" for shards (the ABM replaces
-// the page pool).
+// pool shards, devices, admission policy, selectivity) cell with
+// throughput, latency percentiles, SLO attainment, the per-tenant
+// p95/SLO breakdown, the zone-map skip rate, and the achieved aggregate
+// read bandwidth; shard counts, device counts, admission policies and
+// selectivities of the same cell print adjacent so all four effects read
+// off directly. CScan rows print "-" for shards (the ABM replaces the
+// page pool).
 func printServe(rows []scanshare.ServeRow, real, tsv bool) {
 	fmt.Printf("== Serving sweep: open-loop arrivals, admission control, sharded pool, striped disk array (latencies in %s ms) ==\n", clockName(real))
 	shardCol := func(r scanshare.ServeRow) string {
@@ -335,22 +355,22 @@ func printServe(rows []scanshare.ServeRow, real, tsv bool) {
 		return strconv.Itoa(r.Shards)
 	}
 	if tsv {
-		fmt.Printf("rate_qps\tmpl\tpolicy\tadmission\tpool_shards\tdevices\tcompleted\trejected\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\ttenant_p95_ms\ttenant_slo_pct\tio_mb\tread_mbps\n")
+		fmt.Printf("rate_qps\tmpl\tpolicy\tadmission\tpool_shards\tdevices\tselectivity\tcompleted\trejected\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\ttenant_p95_ms\ttenant_slo_pct\tskip_pct\tio_mb\tread_mbps\n")
 		for _, r := range rows {
-			fmt.Printf("%g\t%d\t%s\t%s\t%s\t%d\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%s\t%s\t%.1f\t%.1f\n",
-				r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.Completed, r.Rejected, r.Throughput,
+			fmt.Printf("%g\t%d\t%s\t%s\t%s\t%d\t%g\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%s\t%s\t%.1f\t%.1f\t%.1f\n",
+				r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.Selectivity, r.Completed, r.Rejected, r.Throughput,
 				r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct,
-				joinFloats(r.TenantP95ms, "%.3f"), joinFloats(r.TenantSLOPct, "%.1f"), r.IOMB, r.ReadMBps)
+				joinFloats(r.TenantP95ms, "%.3f"), joinFloats(r.TenantSLOPct, "%.1f"), r.SkipPct, r.IOMB, r.ReadMBps)
 		}
 		return
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "rate/stream\tMPL\tpolicy\tadmit\tshards\tdevs\tdone\trej\tthru (q/s)\tp50\tp95\tp99\tqwait p95\tSLO %\tp95/tenant\tSLO %/tenant\tI/O MB\trd MB/s")
+	fmt.Fprintln(w, "rate/stream\tMPL\tpolicy\tadmit\tshards\tdevs\tsel\tdone\trej\tthru (q/s)\tp50\tp95\tp99\tqwait p95\tSLO %\tp95/tenant\tSLO %/tenant\tskip%\tI/O MB\trd MB/s")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%s\t%d\t%d\t%d\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%s\t%s\t%.1f\t%.1f\n",
-			r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.Completed, r.Rejected, r.Throughput,
+		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%s\t%d\t%g\t%d\t%d\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%s\t%s\t%.1f\t%.1f\t%.1f\n",
+			r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.Selectivity, r.Completed, r.Rejected, r.Throughput,
 			r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct,
-			joinFloats(r.TenantP95ms, "%.2f"), joinFloats(r.TenantSLOPct, "%.0f"), r.IOMB, r.ReadMBps)
+			joinFloats(r.TenantP95ms, "%.2f"), joinFloats(r.TenantSLOPct, "%.0f"), r.SkipPct, r.IOMB, r.ReadMBps)
 	}
 	w.Flush()
 }

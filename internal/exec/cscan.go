@@ -29,6 +29,11 @@ type CScan struct {
 	// means RID == SID.
 	PDT     *pdt.PDT
 	InOrder bool
+	// Pred, when non-nil, is the sargable value restriction the scan
+	// prunes its ranges by at Open: the ABM is only told about the
+	// surviving SID ranges, so pruned chunks gain no interest, are never
+	// loaded, and never enter relevance counts.
+	Pred *ScanPredicate
 
 	types    []storage.ColumnType
 	out      *Batch
@@ -67,6 +72,7 @@ func (s *CScan) Open() {
 		panic("exec: CScan requires an ABM in the context")
 	}
 	s.out = NewBatch(s.Schema())
+	s.Ranges = s.Ctx.pruneScanRanges(s.Snap, s.Ranges, s.Pred, s.PDT != nil)
 	total := s.Snap.NumTuples()
 	if s.PDT != nil {
 		total = s.PDT.NumTuples()

@@ -56,6 +56,12 @@ type Ctx struct {
 	// ReadAheadTuples is the per-column read-ahead window of the Scan
 	// operator, in tuples.
 	ReadAheadTuples int64
+	// Zones, when non-nil, holds the per-(snapshot, column) MinMax
+	// indexes predicate scans prune their ranges through.
+	Zones *ZoneMaps
+	// Skip, when non-nil, accumulates the run's zone-map pruning
+	// counters (tuples requested by predicate scans vs tuples skipped).
+	Skip *SkipStats
 	// Workers, when non-nil, is the bounded worker pool XChg submits its
 	// subplan producers to (real runtime; sized by the core count). Nil
 	// means one cooperative process per subplan (sim runtime).

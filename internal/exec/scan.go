@@ -39,6 +39,10 @@ type Scan struct {
 	// PDT is the flattened delta layer for this scan's snapshot; nil
 	// means RID == SID (no pending updates).
 	PDT *pdt.PDT
+	// Pred, when non-nil, is the sargable value restriction the scan
+	// prunes its ranges by at Open (zone-map data skipping). Advisory:
+	// the exact filter still runs above the scan.
+	Pred *ScanPredicate
 
 	types    []storage.ColumnType
 	out      *Batch
@@ -77,6 +81,7 @@ func (s *Scan) Open() {
 	}
 	s.opened = true
 	s.out = NewBatch(s.Schema())
+	s.Ranges = s.Ctx.pruneScanRanges(s.Snap, s.Ranges, s.Pred, s.PDT != nil)
 	total := s.Snap.NumTuples()
 	if s.PDT != nil {
 		total = s.PDT.NumTuples()

@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/minmax"
+	"repro/internal/storage"
+)
+
+// ScanPredicate is a sargable value restriction on one stored column:
+// the scan only needs tuples whose column value lies in [Lo, Hi]. Scans
+// carrying one consult the context's zone maps at Open to prune
+// provably-excluded tuple ranges before any I/O is scheduled — the ABM
+// gains no interest in pruned chunks, the PBM never registers their
+// pages, and read-ahead batches split around the pruned runs. Pruning is
+// conservative (block granularity), so plans still apply the exact
+// filter on top of the scan.
+type ScanPredicate struct {
+	// Col is the storage column index in the table schema (not the
+	// position within Scan.Cols).
+	Col int
+	// Lo and Hi are the inclusive value bounds.
+	Lo, Hi int64
+}
+
+// zoneKey identifies one summarized column of one snapshot.
+type zoneKey struct {
+	snap *storage.Snapshot
+	col  int
+}
+
+// ZoneMaps is the registry of per-(snapshot, column) MinMax indexes a
+// context's scans prune through. Indexes are built once at load
+// (storage-level reads, no modeled I/O) and are immutable afterwards;
+// the mutex only guards registry mutation so concurrent real-mode scans
+// can look up safely.
+type ZoneMaps struct {
+	mu  sync.RWMutex
+	idx map[zoneKey]*minmax.Index
+}
+
+// NewZoneMaps creates an empty registry.
+func NewZoneMaps() *ZoneMaps {
+	return &ZoneMaps{idx: make(map[zoneKey]*minmax.Index)}
+}
+
+// Build summarizes snap's int64 column col at blockTuples granularity
+// (0 = minmax.BlockTuples) and registers the index, returning it.
+// Rebuilding an already-registered key replaces the index.
+func (z *ZoneMaps) Build(snap *storage.Snapshot, col int, blockTuples int64) *minmax.Index {
+	ix := minmax.Build(snap, col, blockTuples)
+	z.mu.Lock()
+	z.idx[zoneKey{snap, col}] = ix
+	z.mu.Unlock()
+	return ix
+}
+
+// Lookup returns the registered index for (snap, col), or nil.
+func (z *ZoneMaps) Lookup(snap *storage.Snapshot, col int) *minmax.Index {
+	z.mu.RLock()
+	ix := z.idx[zoneKey{snap, col}]
+	z.mu.RUnlock()
+	return ix
+}
+
+// SkipStats accumulates zone-map pruning counters across a run's scans
+// (atomics: real-mode scans run on concurrent goroutines).
+type SkipStats struct {
+	requested atomic.Int64
+	skipped   atomic.Int64
+}
+
+func (s *SkipStats) add(requested, skipped int64) {
+	s.requested.Add(requested)
+	s.skipped.Add(skipped)
+}
+
+// Counts returns the tuples requested by predicate-carrying scans and
+// the tuples pruned before any I/O was scheduled.
+func (s *SkipStats) Counts() (requested, skipped int64) {
+	return s.requested.Load(), s.skipped.Load()
+}
+
+// pruneScanRanges applies the context's zone maps to a predicate scan's
+// requested ranges, returning the surviving subranges (clipped and
+// coalesced per zone block). It is the single pruning site both scan
+// operators call at Open: everything downstream — ABM chunk interest,
+// PBM page registration, read-ahead runs, admission-cost accounting —
+// sees only the survivors. Scans over pending updates (non-nil PDT) are
+// never pruned: the zone maps summarize stable storage only.
+func (c *Ctx) pruneScanRanges(snap *storage.Snapshot, ranges []RIDRange, pred *ScanPredicate, hasPDT bool) []RIDRange {
+	if pred == nil || hasPDT || c.Zones == nil {
+		return ranges
+	}
+	ix := c.Zones.Lookup(snap, pred.Col)
+	if ix == nil {
+		return ranges
+	}
+	var out []RIDRange
+	var requested, surviving int64
+	for _, r := range ranges {
+		requested += r.Hi - r.Lo
+		for _, kr := range ix.PruneRange(r.Lo, r.Hi, pred.Lo, pred.Hi) {
+			out = append(out, RIDRange{Lo: kr.Lo, Hi: kr.Hi})
+			surviving += kr.Hi - kr.Lo
+		}
+	}
+	if c.Skip != nil {
+		c.Skip.add(requested, requested-surviving)
+	}
+	return out
+}

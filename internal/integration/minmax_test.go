@@ -4,33 +4,36 @@ import (
 	"testing"
 
 	"repro/internal/exec"
-	"repro/internal/minmax"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
 
-// TestMinMaxPrunedScan wires the §2.3 pieces together: a MinMax index
-// restricts a selective scan to a few fine-grained ranges, the Scan
-// operator serves them, and the result matches the unpruned plan while
-// reading far fewer pages.
+// TestMinMaxPrunedScan wires the §2.3 pieces together: a MinMax zone map
+// registered in the context lets a predicate-carrying Scan prune itself
+// to a few fine-grained ranges at Open, and the result matches the
+// unpruned plan while reading far fewer pages.
 func TestMinMaxPrunedScan(t *testing.T) {
 	cat := storage.NewCatalog()
 	s := newSys(workload.PBM, 1<<24)
 	snap := buildTable(t, cat, 40000)
 	// Column 0 (k) is sorted 0..n-1: ideal for MinMax pruning.
-	ix := minmax.Build(snap, 0, 2048)
+	s.ctx.Zones = exec.NewZoneMaps()
+	s.ctx.Zones.Build(snap, 0, 2048)
+	s.ctx.Skip = &exec.SkipStats{}
+	filter := exec.Between(exec.Col{Idx: 0, T: storage.Int64}, 30000, 30100)
+	full := []exec.RIDRange{{Lo: 0, Hi: 40000}}
 	s.run(func() {
 		want := exec.Collect(&exec.Select{
-			Child: &exec.Scan{Ctx: s.ctx, Snap: snap, Cols: []int{0}, Ranges: []exec.RIDRange{{Lo: 0, Hi: 40000}}},
-			Pred:  exec.Between(exec.Col{Idx: 0, T: storage.Int64}, 30000, 30100),
+			Child: &exec.Scan{Ctx: s.ctx, Snap: snap, Cols: []int{0}, Ranges: full},
+			Pred:  filter,
 		})
 		missesFull := s.pool.Stats().Misses
 
 		s.pool.FlushAll()
-		ranges := ix.PruneRange(0, 40000, 30000, 30100)
 		got := exec.Collect(&exec.Select{
-			Child: &exec.Scan{Ctx: s.ctx, Snap: snap, Cols: []int{0}, Ranges: ranges},
-			Pred:  exec.Between(exec.Col{Idx: 0, T: storage.Int64}, 30000, 30100),
+			Child: &exec.Scan{Ctx: s.ctx, Snap: snap, Cols: []int{0}, Ranges: full,
+				Pred: &exec.ScanPredicate{Col: 0, Lo: 30000, Hi: 30100}},
+			Pred: filter,
 		})
 		missesPruned := s.pool.Stats().Misses - missesFull
 
@@ -46,6 +49,10 @@ func TestMinMaxPrunedScan(t *testing.T) {
 		}
 		if missesPruned >= missesFull {
 			t.Errorf("pruned scan read %d pages, full scan %d", missesPruned, missesFull)
+		}
+		req, skip := s.ctx.Skip.Counts()
+		if req != 40000 || skip <= 0 || skip >= 40000 {
+			t.Errorf("skip counters requested=%d skipped=%d", req, skip)
 		}
 	})
 }

@@ -8,12 +8,16 @@
 package minmax
 
 import (
-	"repro/internal/exec"
 	"repro/internal/storage"
 )
 
 // BlockTuples is the default summarization granularity.
 const BlockTuples = 4096
+
+// Range is a half-open surviving tuple range. It mirrors exec.RIDRange
+// structurally but lives here so the executor can depend on this package
+// (for predicate pushdown) without an import cycle.
+type Range struct{ Lo, Hi int64 }
 
 // Index summarizes one int64 column of one snapshot.
 type Index struct {
@@ -24,44 +28,54 @@ type Index struct {
 	tuples int64
 }
 
-// Build scans the column directly (storage-level, no buffer pool: in
-// Vectorwise MinMax indexes are maintained during load) and summarizes
-// blocks of blockTuples.
+// Build summarizes blocks of blockTuples via the snapshot's storage-level
+// BlockMinMax (no buffer pool: in Vectorwise MinMax indexes are
+// maintained during load).
 func Build(snap *storage.Snapshot, col int, blockTuples int64) *Index {
 	if blockTuples <= 0 {
 		blockTuples = BlockTuples
 	}
-	n := snap.NumTuples()
-	idx := &Index{col: col, block: blockTuples, tuples: n}
-	var buf []int64
-	for lo := int64(0); lo < n; lo += blockTuples {
-		hi := lo + blockTuples
-		if hi > n {
-			hi = n
-		}
-		buf = snap.ReadInt64(col, lo, hi, buf)
-		mn, mx := buf[0], buf[0]
-		for _, v := range buf[1:] {
-			if v < mn {
-				mn = v
-			}
-			if v > mx {
-				mx = v
-			}
-		}
-		idx.mins = append(idx.mins, mn)
-		idx.maxs = append(idx.maxs, mx)
-	}
+	idx := &Index{col: col, block: blockTuples, tuples: snap.NumTuples()}
+	idx.mins, idx.maxs = snap.BlockMinMax(col, blockTuples)
 	return idx
 }
 
 // Blocks returns the number of summarized blocks.
 func (ix *Index) Blocks() int { return len(ix.mins) }
 
+// Col returns the summarized column's index in the table schema.
+func (ix *Index) Col() int { return ix.col }
+
+// BlockTuples returns the summarization granularity in tuples.
+func (ix *Index) BlockTuples() int64 { return ix.block }
+
+// ValueBounds returns the overall column minimum and maximum; ok is
+// false for an empty index (no summarized tuples).
+func (ix *Index) ValueBounds() (vmin, vmax int64, ok bool) {
+	if len(ix.mins) == 0 {
+		return 0, 0, false
+	}
+	vmin, vmax = ix.mins[0], ix.maxs[0]
+	for b := 1; b < len(ix.mins); b++ {
+		if ix.mins[b] < vmin {
+			vmin = ix.mins[b]
+		}
+		if ix.maxs[b] > vmax {
+			vmax = ix.maxs[b]
+		}
+	}
+	return vmin, vmax, true
+}
+
 // PruneRange restricts [lo,hi) to the blocks that may contain values in
 // [vmin, vmax], returning the (possibly multiple) surviving tuple
-// ranges. Ranges are clipped to the input range and coalesced.
-func (ix *Index) PruneRange(lo, hi int64, vmin, vmax int64) []exec.RIDRange {
+// ranges. Ranges are clipped to the input range and coalesced. An
+// inverted value interval (vmin > vmax) matches nothing and prunes
+// everything.
+func (ix *Index) PruneRange(lo, hi int64, vmin, vmax int64) []Range {
+	if vmin > vmax {
+		return nil
+	}
 	if lo < 0 {
 		lo = 0
 	}
@@ -73,7 +87,7 @@ func (ix *Index) PruneRange(lo, hi int64, vmin, vmax int64) []exec.RIDRange {
 	}
 	first := lo / ix.block
 	last := (hi - 1) / ix.block
-	var out []exec.RIDRange
+	var out []Range
 	for b := first; b <= last; b++ {
 		if ix.mins[b] > vmax || ix.maxs[b] < vmin {
 			continue // block cannot match
@@ -90,9 +104,20 @@ func (ix *Index) PruneRange(lo, hi int64, vmin, vmax int64) []exec.RIDRange {
 			out[n-1].Hi = bhi // coalesce adjacent surviving blocks
 			continue
 		}
-		out = append(out, exec.RIDRange{Lo: blo, Hi: bhi})
+		out = append(out, Range{Lo: blo, Hi: bhi})
 	}
 	return out
+}
+
+// CountRange returns the number of tuples PruneRange(lo,hi,vmin,vmax)
+// would keep — the numerator of a skip-aware scan-cost estimate, without
+// materializing the ranges.
+func (ix *Index) CountRange(lo, hi int64, vmin, vmax int64) int64 {
+	var n int64
+	for _, r := range ix.PruneRange(lo, hi, vmin, vmax) {
+		n += r.Hi - r.Lo
+	}
+	return n
 }
 
 // Selectivity estimates the fraction of blocks surviving a [vmin,vmax]

@@ -722,7 +722,9 @@ const maxCostSec = 1e9
 // the average observed scan speed. It turns PBM's speed estimates — built
 // to predict page next-consumption times for eviction — into the
 // per-query expected-work signal a shortest-expected-scan-first admission
-// policy orders by.
+// policy orders by. Callers price predicate scans with the tuple count
+// surviving zone-map pruning, so a 1%-selective scan is admitted as
+// ~100x cheaper than a full scan of the same range (skip-aware costing).
 func (p *PBM) EstimateScanTime(tuples int64) sim.Duration {
 	if tuples <= 0 {
 		return 0

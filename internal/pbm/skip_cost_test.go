@@ -1,0 +1,68 @@
+package pbm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/minmax"
+	"repro/internal/storage"
+)
+
+// clusteredSnap builds an n-tuple snapshot whose single column holds
+// 0..n-1 in order — perfectly clustered, so a zone map prunes value
+// windows to exactly their blocks.
+func clusteredSnap(t *testing.T, n int) *storage.Snapshot {
+	t.Helper()
+	cat := storage.NewCatalog()
+	tb, err := cat.CreateTable("t", storage.Schema{{Name: "d", Type: storage.Int64, Width: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	d := storage.NewColumnData()
+	d.I64[0] = vals
+	s, err := tb.Master().Append(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSkipAwarePricingHundredfoldCheaper pins the skip-aware admission
+// costing end to end at the pricing layer: callers feed EstimateScanTime
+// the tuple count surviving zone-map pruning, so a 1%-selective window
+// over a clustered column prices at exactly 1/100th of the full scan at
+// the idle default speed — the signal that lets sesf admit narrow
+// predicate scans ahead of queued full scans.
+func TestSkipAwarePricingHundredfoldCheaper(t *testing.T) {
+	const n = 100_000
+	snap := clusteredSnap(t, n)
+	ix := minmax.Build(snap, 0, 1000)
+	p := New(&fakeClock{}, testCfg())
+
+	vmin, vmax, ok := ix.ValueBounds()
+	if !ok || vmin != 0 || vmax != n-1 {
+		t.Fatalf("value bounds = (%d,%d,%v)", vmin, vmax, ok)
+	}
+	fullTuples := ix.CountRange(0, n, vmin, vmax)
+	selTuples := ix.CountRange(0, n, 0, n/100-1) // 1% value window => block 0 only
+	if fullTuples != n || selTuples != n/100 {
+		t.Fatalf("surviving tuples full=%d sel=%d, want %d and %d", fullTuples, selTuples, n, n/100)
+	}
+
+	full := p.EstimateScanTime(fullTuples)
+	sel := p.EstimateScanTime(selTuples)
+	// At the 1e6 tuples/s default speed the estimates are exact.
+	if full != 100*time.Millisecond {
+		t.Fatalf("full-scan estimate %v, want 100ms", full)
+	}
+	if sel != time.Millisecond {
+		t.Fatalf("selective-scan estimate %v, want 1ms", sel)
+	}
+	if ratio := float64(full) / float64(sel); ratio != 100 {
+		t.Fatalf("price ratio %v, want exactly 100x", ratio)
+	}
+}

@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/minmax"
+	"repro/internal/pbm"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// TestSESFAdmitsSelectiveScanAheadOfFullScans runs the skip-aware
+// costing pipeline the serving driver uses — zone-map CountRange feeding
+// pbm.EstimateScanTime — and checks the resulting Cost values make sesf
+// jump a late-arriving 1%-selective scan ahead of a backlog of full
+// scans, while the equally-priced full scans keep their arrival order.
+// Costs are deterministic: the PBM is idle, so pricing uses the exact
+// default speed.
+func TestSESFAdmitsSelectiveScanAheadOfFullScans(t *testing.T) {
+	const n = 100_000
+	cat := storage.NewCatalog()
+	tb, err := cat.CreateTable("t", storage.Schema{{Name: "d", Type: storage.Int64, Width: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	d := storage.NewColumnData()
+	d.I64[0] = vals
+	snap, err := tb.Master().Append(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ix := minmax.Build(snap, 0, 1000)
+	p := pbm.New(sim.NewEngine(), pbm.DefaultConfig())
+	vmin, vmax, _ := ix.ValueBounds()
+	fullCost := p.EstimateScanTime(ix.CountRange(0, n, vmin, vmax)).Seconds()
+	selCost := p.EstimateScanTime(ix.CountRange(0, n, 0, n/100-1)).Seconds()
+	if fullCost < 50*selCost {
+		t.Fatalf("skip-aware pricing too flat: full %v vs selective %v", fullCost, selCost)
+	}
+
+	queries := []Query{
+		{Seq: 0, Cost: fullCost}, // admitted immediately (MPL slot free)
+		{Seq: 1, Cost: fullCost}, // queued full scans...
+		{Seq: 2, Cost: fullCost},
+		{Seq: 3, Cost: selCost}, // ...then the cheap selective scan arrives
+	}
+	got := admissionOrder(t, Config{Policy: "sesf"}, queries)
+	want := []int{0, 3, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sesf admission order %v, want %v (selective scan first, full scans in arrival order)", got, want)
+	}
+}

@@ -464,6 +464,37 @@ func (s *Snapshot) ReadString(col int, lo, hi int64, dst []string) []string {
 	return dst
 }
 
+// BlockMinMax summarizes an int64 column into per-block minimum/maximum
+// pairs, blockTuples tuples per block (the last block may be short). It
+// reads page memory directly — no buffer pool, no modeled I/O — the way
+// Vectorwise maintains MinMax indexes during load; minmax.Build is the
+// intended caller.
+func (s *Snapshot) BlockMinMax(col int, blockTuples int64) (mins, maxs []int64) {
+	if blockTuples <= 0 || s.tuples == 0 {
+		return nil, nil
+	}
+	nBlocks := (s.tuples + blockTuples - 1) / blockTuples
+	mins = make([]int64, 0, nBlocks)
+	maxs = make([]int64, 0, nBlocks)
+	for _, p := range s.cols[col] {
+		for i, v := range p.I64 {
+			if (p.FirstSID+int64(i))%blockTuples == 0 {
+				mins = append(mins, v)
+				maxs = append(maxs, v)
+				continue
+			}
+			b := len(mins) - 1
+			if v < mins[b] {
+				mins[b] = v
+			}
+			if v > maxs[b] {
+				maxs[b] = v
+			}
+		}
+	}
+	return mins, maxs
+}
+
 func clip(p *Page, lo, hi int64) (int, int) {
 	a, b := int64(0), int64(p.Tuples)
 	if lo > p.FirstSID {

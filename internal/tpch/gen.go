@@ -14,6 +14,7 @@ package tpch
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/storage"
 )
@@ -111,9 +112,27 @@ var (
 	typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
 )
 
+// GenOptions parameterizes generation beyond scale factor and seed.
+type GenOptions struct {
+	// ClusteredShipdate sorts lineitem by l_shipdate before load (a
+	// stable sort, so generation stays deterministic). TPC-H generates
+	// shipdates nearly uniformly across the date domain, which leaves
+	// every zone-map block spanning the whole domain and nothing to
+	// prune; clustering is the physical structure MinMax data skipping
+	// exploits (Vectorwise tables are typically date-clustered).
+	ClusteredShipdate bool
+}
+
 // Generate builds all eight tables at the given scale factor. The same
 // seed always yields identical data.
 func Generate(sf float64, seed int64) *DB {
+	return GenerateOpt(sf, seed, GenOptions{})
+}
+
+// GenerateOpt is Generate with generation options; Generate(sf, seed) is
+// GenerateOpt(sf, seed, GenOptions{}) and stays byte-identical to the
+// historical generator.
+func GenerateOpt(sf float64, seed int64, opt GenOptions) *DB {
 	if sf <= 0 {
 		panic("tpch: scale factor must be positive")
 	}
@@ -129,8 +148,41 @@ func Generate(sf float64, seed int64) *DB {
 	db.genPart(rng, nPart)
 	db.genPartsupp(rng, nPart, nSupp)
 	db.genCustomer(rng, nCust)
-	db.genOrdersAndLineitem(rng, nOrd, nCust, nPart, nSupp)
+	db.genOrdersAndLineitem(rng, nOrd, nCust, nPart, nSupp, opt)
 	return db
+}
+
+// sortColumnsBy reorders every column of d by ascending values of int64
+// column col, using a stable permutation so equal keys keep generation
+// order (determinism).
+func sortColumnsBy(d *storage.ColumnData, col int) {
+	key := d.I64[col]
+	perm := make([]int, len(key))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return key[perm[a]] < key[perm[b]] })
+	for c, vs := range d.I64 {
+		out := make([]int64, len(vs))
+		for i, p := range perm {
+			out[i] = vs[p]
+		}
+		d.I64[c] = out
+	}
+	for c, vs := range d.F64 {
+		out := make([]float64, len(vs))
+		for i, p := range perm {
+			out[i] = vs[p]
+		}
+		d.F64[c] = out
+	}
+	for c, vs := range d.Str {
+		out := make([]string, len(vs))
+		for i, p := range perm {
+			out[i] = vs[p]
+		}
+		d.Str[c] = out
+	}
 }
 
 func scaled(base int, sf float64) int {
@@ -294,7 +346,7 @@ func (db *DB) genCustomer(rng *rand.Rand, n int) {
 	db.create("customer", schema, d)
 }
 
-func (db *DB) genOrdersAndLineitem(rng *rand.Rand, nOrd, nCust, nPart, nSupp int) {
+func (db *DB) genOrdersAndLineitem(rng *rand.Rand, nOrd, nCust, nPart, nSupp int, opt GenOptions) {
 	oSchema := storage.Schema{
 		{Name: "o_orderkey", Type: storage.Int64, Width: 4},
 		{Name: "o_custkey", Type: storage.Int64, Width: 4},
@@ -394,5 +446,8 @@ func (db *DB) genOrdersAndLineitem(rng *rand.Rand, nOrd, nCust, nPart, nSupp int
 		od.Str[8] = append(od.Str[8], "order comment")
 	}
 	db.create("orders", oSchema, od)
+	if opt.ClusteredShipdate {
+		sortColumnsBy(ld, 10) // l_shipdate
+	}
 	db.create("lineitem", lSchema, ld)
 }

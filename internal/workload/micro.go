@@ -37,6 +37,7 @@ func RunMicro(db *tpch.DB, cfg Config) *Result {
 	}
 	accessed := MicroAccessedBytes(db)
 	e := newEnv(cfg, accessed)
+	e.setupSkipping(db, cfg.Selectivities)
 	build := e.builder(db)
 	n := db.Snapshot("lineitem").NumTuples()
 
@@ -53,7 +54,8 @@ func RunMicro(db *tpch.DB, cfg Config) *Result {
 				pct := cfg.RangePercents[rng.Intn(len(cfg.RangePercents))]
 				r := randRange(rng, n, pct)
 				useQ1 := rng.Intn(2) == 0
-				exec.Drain(e.microPlan(db, build, r, useQ1))
+				pred := e.pickPredicate(rng, cfg.Selectivities)
+				exec.Drain(e.microPlan(db, e.wrapPred(db, build, pred), r, useQ1))
 			}
 			streamEnds[s] = e.rt.Now()
 		})

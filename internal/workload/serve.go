@@ -54,6 +54,13 @@ type ServeConfig struct {
 	// TenantWeights assigns wfq fair-share weights by tenant id (index =
 	// tenant). Missing or non-positive entries weigh 1.
 	TenantWeights []float64
+	// TenantSelectivities overrides the embedded Config.Selectivities
+	// per tenant (index = tenant id): each tenant's streams draw their
+	// predicate selectivity from their own mix, so a sweep can pit
+	// narrow-predicate tenants against full-scan tenants under one
+	// admission policy. Missing or empty entries fall back to
+	// Config.Selectivities.
+	TenantSelectivities [][]float64
 }
 
 // DefaultTenants is the default number of fairness domains streams are
@@ -126,6 +133,7 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 	}
 	accessed := MicroAccessedBytes(db)
 	e := newEnv(cfg.Config, accessed)
+	e.setupSkipping(db, append([][]float64{cfg.Selectivities}, cfg.TenantSelectivities...)...)
 	build := e.builder(db)
 	n := db.Snapshot("lineitem").NumTuples()
 
@@ -152,6 +160,10 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 	for s := 0; s < cfg.Streams; s++ {
 		s := s
 		tenant := s % tenants
+		mix := cfg.Selectivities
+		if tenant < len(cfg.TenantSelectivities) && len(cfg.TenantSelectivities[tenant]) > 0 {
+			mix = cfg.TenantSelectivities[tenant]
+		}
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(s)*6271))
 		wg.Add(1)
 		e.rt.Go("client", func() {
@@ -164,13 +176,16 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 				pct := cfg.RangePercents[rng.Intn(len(cfg.RangePercents))]
 				r := randRange(rng, n, pct)
 				useQ1 := rng.Intn(2) == 0
+				pred := e.pickPredicate(rng, mix)
 				q := q
 				// The expected-work estimate is priced at arrival from the
 				// scan's tuple count and the cost model's current speed
 				// view — the signal sesf orders the admission queue by.
+				// Predicate scans are priced skip-aware: only the tuples
+				// the zone map says survive pruning count as work.
 				req := sched.Query{Stream: s, Seq: q, Tenant: tenant}
 				if cost != nil {
-					req.Cost = cost.EstimateScanTime(r.Hi - r.Lo).Seconds()
+					req.Cost = cost.EstimateScanTime(e.survivingTuples(r, pred)).Seconds()
 				}
 				if cfg.ClosedLoop {
 					// Closed loop: the stream itself runs the query and only
@@ -179,7 +194,7 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 					if !ok {
 						continue
 					}
-					exec.Drain(e.microPlan(db, build, r, useQ1))
+					exec.Drain(e.microPlan(db, e.wrapPred(db, build, pred), r, useQ1))
 					tk.Done()
 					continue
 				}
@@ -190,7 +205,7 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 					if !ok {
 						return // rejected: bounded queue full
 					}
-					exec.Drain(e.microPlan(db, build, r, useQ1))
+					exec.Drain(e.microPlan(db, e.wrapPred(db, build, pred), r, useQ1))
 					tk.Done()
 				})
 			}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/exec"
+	"repro/internal/minmax"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// anySelective reports whether any mix entry actually restricts a scan
+// (selectivity below 1): only then is the zone-map machinery worth
+// wiring up.
+func anySelective(mixes ...[]float64) bool {
+	for _, mix := range mixes {
+		for _, sel := range mix {
+			if sel > 0 && sel < 1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// setupSkipping builds the lineitem l_shipdate zone map — block size =
+// the ABM chunk granularity, so pruning decisions align with chunk
+// boundaries — and wires pruning and the skip counters into the
+// execution context. A no-op unless some mix entry is selective, so runs
+// without a selectivity axis stay bit-identical to the historical
+// engine. The build reads stable storage directly (no modeled I/O), the
+// way Vectorwise maintains MinMax indexes during load.
+func (e *env) setupSkipping(db *tpch.DB, mixes ...[]float64) {
+	if !anySelective(mixes...) {
+		return
+	}
+	snap := db.Snapshot("lineitem")
+	col := db.Col("lineitem", "l_shipdate")
+	e.ctx.Zones = exec.NewZoneMaps()
+	e.ctx.Skip = &exec.SkipStats{}
+	e.predIx = e.ctx.Zones.Build(snap, col, e.cfg.ChunkTuples)
+	e.predCol = col
+	e.dateMin, e.dateMax, _ = e.predIx.ValueBounds()
+}
+
+// pickPredicate draws one query's shipdate restriction from the
+// selectivity mix: a value window spanning sel of the column's domain at
+// a random position, or nil for an unrestricted scan. The rng discipline
+// is golden-critical: an empty mix draws nothing, a single-entry mix
+// skips the mix draw, and selectivity >= 1 draws no window — so
+// configurations without a selectivity axis consume exactly the
+// historical rng stream.
+func (e *env) pickPredicate(rng *rand.Rand, mix []float64) *exec.ScanPredicate {
+	if len(mix) == 0 {
+		return nil
+	}
+	sel := mix[0]
+	if len(mix) > 1 {
+		sel = mix[rng.Intn(len(mix))]
+	}
+	if sel >= 1 || e.predIx == nil {
+		return nil
+	}
+	domain := e.dateMax - e.dateMin + 1
+	span := int64(float64(domain)*sel + 0.5)
+	if span < 1 {
+		span = 1
+	}
+	lo := e.dateMin
+	if maxStart := domain - span; maxStart > 0 {
+		lo += rng.Int63n(maxStart + 1)
+	}
+	return &exec.ScanPredicate{Col: e.predCol, Lo: lo, Hi: lo + span - 1}
+}
+
+// survivingTuples prices a predicate scan for admission: the tuples the
+// zone map says survive pruning. This is what makes EstimateScanTime
+// skip-aware — a 1%-selective scan over clustered data is priced (and
+// admitted under sesf/wfq) as ~100x cheaper than a full scan of the
+// same range.
+func (e *env) survivingTuples(r exec.RIDRange, pred *exec.ScanPredicate) int64 {
+	if pred == nil || e.predIx == nil {
+		return r.Hi - r.Lo
+	}
+	return e.predIx.CountRange(r.Lo, r.Hi, pred.Lo, pred.Hi)
+}
+
+// wrapPred decorates the policy builder for one query: lineitem scans
+// carry the predicate (zone-map pruning at Open), and a Select applies
+// the exact filter on top, since block-granular pruning is conservative.
+func (e *env) wrapPred(db *tpch.DB, base tpch.ScanBuilder, pred *exec.ScanPredicate) tpch.ScanBuilder {
+	if pred == nil {
+		return base
+	}
+	return func(table string, cols []string, ranges []exec.RIDRange, inOrder bool) exec.Op {
+		op := base(table, cols, ranges, inOrder)
+		if table != "lineitem" {
+			return op
+		}
+		switch s := op.(type) {
+		case *exec.Scan:
+			s.Pred = pred
+		case *exec.CScan:
+			s.Pred = pred
+		}
+		pos := -1
+		for i, c := range cols {
+			if db.Col(table, c) == pred.Col {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			// The scan does not produce the predicate column; pruning
+			// still applies, exact filtering is the plan's own job.
+			return op
+		}
+		return &exec.Select{
+			Child: op,
+			Pred:  exec.Between(exec.Col{Idx: pos, T: storage.Int64}, pred.Lo, pred.Hi),
+		}
+	}
+}
+
+// skipEnv is the per-env zone-map state (fields live on env; declared
+// here with the machinery that uses them).
+type skipEnv struct {
+	predIx           *minmax.Index
+	predCol          int
+	dateMin, dateMax int64
+}

@@ -79,6 +79,13 @@ type Config struct {
 	// RangePercents is the menu of scan-range sizes (percent of table)
 	// the microbenchmark draws from.
 	RangePercents []int
+	// Selectivities is the menu of predicate selectivities the query
+	// generator draws from: each query gets an l_shipdate window spanning
+	// that fraction of the date domain, pushed down to the scan for
+	// zone-map data skipping. Empty (the default) and entries >= 1 mean
+	// unrestricted scans and change nothing — runs stay bit-identical to
+	// the pre-skipping engine.
+	Selectivities []float64
 	// TraceForOPT records the page reference trace (order-preserving
 	// policies only) so the caller can replay it under Belady's OPT.
 	TraceForOPT bool
@@ -165,6 +172,12 @@ type Result struct {
 	// DiskStats is the device array's aggregate and per-device report,
 	// including the stripe-skew (max/min device bytes) counters.
 	DiskStats iosim.ArrayStats
+	// RequestedTuples and SkippedTuples are the zone-map pruning
+	// counters: tuples requested by predicate-carrying scans, and the
+	// subset proven irrelevant and skipped before any I/O was scheduled.
+	// Both zero when no selectivity axis is configured.
+	RequestedTuples int64
+	SkippedTuples   int64
 }
 
 // OPTIOBytes replays the run's trace under Belady's OPT (§4's
@@ -188,6 +201,7 @@ type env struct {
 	ctx    *exec.Ctx
 	rec    *trace.Recorder
 	result *Result
+	skipEnv
 }
 
 func newEnv(cfg Config, accessedBytes int64) *env {
@@ -345,6 +359,9 @@ func (e *env) finish(streamEnds []sim.Time) *Result {
 	}
 	if e.rec != nil {
 		e.result.Trace = e.rec.Refs()
+	}
+	if e.ctx.Skip != nil {
+		e.result.RequestedTuples, e.result.SkippedTuples = e.ctx.Skip.Counts()
 	}
 	e.result.DiskStats = e.disk.Stats()
 	return e.result

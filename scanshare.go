@@ -57,6 +57,18 @@ type (
 	Batch = exec.Batch
 	// RIDRange is a half-open row range.
 	RIDRange = exec.RIDRange
+	// ScanPredicate is a sargable value restriction on one stored
+	// column; scans carrying one prune provably-excluded ranges through
+	// the system's zone maps before any I/O is scheduled (§2.3 MinMax
+	// data skipping).
+	ScanPredicate = exec.ScanPredicate
+	// ZoneMaps is the registry of per-(snapshot, column) MinMax indexes
+	// predicate scans prune through.
+	ZoneMaps = exec.ZoneMaps
+	// SkipStats accumulates a run's zone-map pruning counters.
+	SkipStats = exec.SkipStats
+	// TPCHGenOptions parameterizes TPC-H generation (clustered lineitem).
+	TPCHGenOptions = tpch.GenOptions
 	// Policy selects the buffer management strategy.
 	Policy = workload.Policy
 	// Config parameterizes experiment runs.
@@ -105,6 +117,9 @@ var (
 	NewPDTStore = pdt.NewStore
 	// GenerateTPCH builds the TPC-H-shaped database.
 	GenerateTPCH = tpch.Generate
+	// GenerateTPCHOpt is GenerateTPCH with generation options, e.g. a
+	// shipdate-clustered lineitem for zone maps to exploit.
+	GenerateTPCHOpt = tpch.GenerateOpt
 	// IntVal, FloatVal and StrVal construct PDT values.
 	IntVal   = pdt.IntVal
 	FloatVal = pdt.FloatVal
@@ -165,6 +180,8 @@ type System struct {
 	ABM     *abm.ABM     // non-nil under CScan
 	Ctx     *exec.Ctx
 	Catalog *Catalog
+
+	chunkTuples int64 // zone-map granularity (= the CScan chunk size)
 }
 
 // NewSystem wires a simulated instance.
@@ -204,7 +221,12 @@ func NewSystem(cfg SystemConfig) *System {
 		CPU:             exec.NewCPU(s.RT, cfg.Cores),
 		PerTupleCPU:     cfg.PerTupleCPU,
 		ReadAheadTuples: 16384,
+		// The zone-map registry starts empty, so nothing changes until
+		// BuildZoneMap registers an index and a scan carries a predicate.
+		Zones: exec.NewZoneMaps(),
+		Skip:  &exec.SkipStats{},
 	}
+	s.chunkTuples = cfg.ChunkTuples
 	if cfg.Real {
 		s.Ctx.Workers = rt.NewWorkerPool(s.RT, cfg.Cores)
 	}
@@ -281,6 +303,37 @@ func (s *System) NewScan(snap *Snapshot, cols []int, ranges []RIDRange, deltas *
 	}
 	return &exec.Scan{Ctx: s.Ctx, Snap: snap, Cols: cols, Ranges: ranges, PDT: deltas}
 }
+
+// BuildZoneMap summarizes an int64 column of a snapshot at the system's
+// chunk granularity (so pruning decisions align with ABM chunk
+// boundaries) and registers the index for predicate pushdown. It reads
+// stable storage directly — no modeled I/O — the way Vectorwise
+// maintains MinMax indexes during load; call it once after loading.
+func (s *System) BuildZoneMap(snap *Snapshot, col int) {
+	s.Ctx.Zones.Build(snap, col, s.chunkTuples)
+}
+
+// NewPredScan is NewScan with a pushed-down predicate: the scan prunes
+// provably-excluded ranges through the registered zone maps at Open, so
+// the buffer manager never schedules, loads, or accounts I/O for them.
+// Pruning is conservative (block granularity) — wrap the result in a
+// Select for exact filtering. Scans over pending updates (deltas != nil)
+// are never pruned.
+func (s *System) NewPredScan(snap *Snapshot, cols []int, ranges []RIDRange, deltas *PDT, pred *ScanPredicate) Operator {
+	op := s.NewScan(snap, cols, ranges, deltas)
+	switch sc := op.(type) {
+	case *exec.Scan:
+		sc.Pred = pred
+	case *exec.CScan:
+		sc.Pred = pred
+	}
+	return op
+}
+
+// SkipCounts reports the run's zone-map pruning counters: tuples
+// requested by predicate-carrying scans and the subset skipped before
+// any I/O was scheduled.
+func (s *System) SkipCounts() (requested, skipped int64) { return s.Ctx.Skip.Counts() }
 
 // IOBytes reports the total bytes read from the simulated disk so far.
 func (s *System) IOBytes() int64 { return s.Disk.Stats().BytesRead }

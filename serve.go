@@ -100,6 +100,18 @@ type ServeOptions struct {
 	// TenantWeights assigns wfq fair-share weights by tenant id (index =
 	// tenant); missing or non-positive entries weigh 1.
 	TenantWeights []float64
+	// Selectivities is the predicate-selectivity axis (default {1}):
+	// each cell of the sweep runs once per selectivity, rows adjacent,
+	// so the zone-map data-skipping effect reads off one table
+	// (`scanbench -selectivities 1,0.1,0.01`). A selectivity of 1 means
+	// unrestricted scans (bit-identical to the pre-skipping engine);
+	// below 1, every query carries an l_shipdate window spanning that
+	// fraction of the date domain, pushed down to the scans.
+	Selectivities []float64
+	// Clustered generates lineitem sorted by l_shipdate, giving the zone
+	// maps physical structure to exploit; without it TPC-H shipdates are
+	// near-uniform per block and nothing prunes.
+	Clustered bool
 	// QueueDepth bounds the admission queue (0 => default 64).
 	QueueDepth int
 	// SLO is the latency objective (0 => 250 ms).
@@ -120,6 +132,7 @@ func DefaultServeOptions() ServeOptions {
 		Shards:            []int{1, DefaultPoolShards},
 		Devices:           []int{1},
 		AdmissionPolicies: []string{"fifo"},
+		Selectivities:     []float64{1},
 		SLO:               250 * time.Millisecond,
 	}
 }
@@ -162,6 +175,18 @@ func (o ServeOptions) fill() ServeOptions {
 	if len(o.AdmissionPolicies) == 0 {
 		o.AdmissionPolicies = d.AdmissionPolicies
 	}
+	// Keep only meaningful selectivities (0 < sel <= 1); an empty axis
+	// defaults to {1}, the unrestricted-scan baseline.
+	sels := o.Selectivities[:0:0]
+	for _, s := range o.Selectivities {
+		if s > 0 && s <= 1 {
+			sels = append(sels, s)
+		}
+	}
+	o.Selectivities = sels
+	if len(o.Selectivities) == 0 {
+		o.Selectivities = d.Selectivities
+	}
 	if o.SLO == 0 {
 		o.SLO = d.SLO
 	}
@@ -187,6 +212,11 @@ type ServeRow struct {
 	QWaitP95ms float64 // queue-wait p95 (virtual ms)
 	SLOPct     float64 // fraction of completed queries meeting the SLO, 0..100
 	IOMB       float64
+	// Selectivity is the cell's predicate selectivity (1 = unrestricted
+	// scans); SkipPct is the fraction of requested tuples the zone maps
+	// pruned before any I/O was scheduled, 0..100.
+	Selectivity float64
+	SkipPct     float64
 	// ReadMBps is the achieved aggregate read bandwidth over the run's
 	// makespan (device bytes / elapsed), the column that makes the
 	// multi-device scaling effect measurable.
@@ -200,23 +230,27 @@ type ServeRow struct {
 }
 
 // serveRowOf flattens one serving result into the sweep's row shape.
-func serveRowOf(res *workload.ServeResult, rate float64, mpl int, pol Policy, shards, devices int, admission string) ServeRow {
+func serveRowOf(res *workload.ServeResult, rate float64, mpl int, pol Policy, shards, devices int, admission string, sel float64) ServeRow {
 	row := ServeRow{
-		Rate:       rate,
-		MPL:        mpl,
-		Policy:     pol.String(),
-		Shards:     shards,
-		Devices:    devices,
-		Admission:  admission,
-		Completed:  res.Sched.Completed,
-		Rejected:   res.Sched.Rejected,
-		Throughput: res.Sched.Throughput,
-		P50ms:      ms(res.Sched.Latency.P50),
-		P95ms:      ms(res.Sched.Latency.P95),
-		P99ms:      ms(res.Sched.Latency.P99),
-		QWaitP95ms: ms(res.Sched.QueueWait.P95),
-		SLOPct:     res.Sched.SLOAttainment * 100,
-		IOMB:       mb(res.TotalIOBytes),
+		Rate:        rate,
+		MPL:         mpl,
+		Policy:      pol.String(),
+		Shards:      shards,
+		Devices:     devices,
+		Admission:   admission,
+		Completed:   res.Sched.Completed,
+		Rejected:    res.Sched.Rejected,
+		Throughput:  res.Sched.Throughput,
+		P50ms:       ms(res.Sched.Latency.P50),
+		P95ms:       ms(res.Sched.Latency.P95),
+		P99ms:       ms(res.Sched.Latency.P99),
+		QWaitP95ms:  ms(res.Sched.QueueWait.P95),
+		SLOPct:      res.Sched.SLOAttainment * 100,
+		IOMB:        mb(res.TotalIOBytes),
+		Selectivity: sel,
+	}
+	if res.RequestedTuples > 0 {
+		row.SkipPct = 100 * float64(res.SkippedTuples) / float64(res.RequestedTuples)
 	}
 	if res.ElapsedSec > 0 {
 		row.ReadMBps = mb(res.DiskStats.BytesRead) / res.ElapsedSec
@@ -251,7 +285,7 @@ func validateAdmission(names ...string) {
 func ServeSweep(o ServeOptions) []ServeRow {
 	o = o.fill()
 	validateAdmission(o.AdmissionPolicies...)
-	db := GenerateTPCH(o.SF, o.Seed)
+	db := GenerateTPCHOpt(o.SF, o.Seed, TPCHGenOptions{ClusteredShipdate: o.Clustered})
 	var out []ServeRow
 	for _, rate := range o.Rates {
 		for _, mpl := range o.MPLs {
@@ -264,26 +298,33 @@ func ServeSweep(o ServeOptions) []ServeRow {
 				for _, shards := range shardAxis {
 					for _, devices := range o.Devices {
 						for _, adm := range o.AdmissionPolicies {
-							cfg := DefaultServeConfig()
-							cfg.Config = o.apply(cfg.Config)
-							cfg.Config.Real = o.Real
-							cfg.Policy = pol
-							cfg.ArrivalRate = rate
-							cfg.MPL = mpl
-							cfg.QueueDepth = o.QueueDepth
-							cfg.SLO = o.SLO
-							cfg.AdmissionPolicy = adm
-							cfg.Tenants = o.Tenants
-							cfg.TenantWeights = o.TenantWeights
-							if shards > 0 {
-								cfg.PoolShards = shards
+							for _, sel := range o.Selectivities {
+								cfg := DefaultServeConfig()
+								cfg.Config = o.apply(cfg.Config)
+								cfg.Config.Real = o.Real
+								cfg.Policy = pol
+								cfg.ArrivalRate = rate
+								cfg.MPL = mpl
+								cfg.QueueDepth = o.QueueDepth
+								cfg.SLO = o.SLO
+								cfg.AdmissionPolicy = adm
+								cfg.Tenants = o.Tenants
+								cfg.TenantWeights = o.TenantWeights
+								if shards > 0 {
+									cfg.PoolShards = shards
+								}
+								cfg.Config.Devices = devices
+								if o.StripeChunk > 0 {
+									cfg.Config.StripeChunk = o.StripeChunk
+								}
+								if sel < 1 {
+									// sel = 1 leaves Selectivities nil so the run is
+									// bit-identical to the pre-skipping sweep.
+									cfg.Selectivities = []float64{sel}
+								}
+								res := workload.RunServe(db, cfg)
+								out = append(out, serveRowOf(res, rate, mpl, pol, shards, devices, adm, sel))
 							}
-							cfg.Config.Devices = devices
-							if o.StripeChunk > 0 {
-								cfg.Config.StripeChunk = o.StripeChunk
-							}
-							res := workload.RunServe(db, cfg)
-							out = append(out, serveRowOf(res, rate, mpl, pol, shards, devices, adm))
 						}
 					}
 				}
@@ -387,7 +428,7 @@ func Compare(o CompareOptions) CompareReport {
 	}
 	res := workload.RunCompare(db, cfg)
 	row := func(r *workload.ServeResult) ServeRow {
-		return serveRowOf(r, o.Rate, o.MPL, o.Policy, o.Shards, o.Devices, o.Admission)
+		return serveRowOf(r, o.Rate, o.MPL, o.Policy, o.Shards, o.Devices, o.Admission, 1)
 	}
 	rep := CompareReport{Open: row(res.Open), Closed: row(res.Closed)}
 	rep.GapP50ms = rep.Open.P50ms - rep.Closed.P50ms
