@@ -73,6 +73,8 @@ func main() {
 		slo      = flag.Duration("slo", 0, "serve/compare: end-to-end latency SLO (default 250ms)")
 		sels     = flag.String("selectivities", "", "serve: comma-separated predicate selectivities in (0,1] (default 1 = unrestricted scans); below 1 every query carries an l_shipdate window of that fraction of the date domain, pruned by the zone maps")
 		cluster  = flag.Bool("clustered", false, "serve: generate lineitem sorted by l_shipdate so the zone maps have physical structure to prune against")
+		deadline = flag.Duration("deadline", 0, "serve: per-query end-to-end deadline; queued queries past it are dropped (to%), executing ones killed at the next lifecycle check (0 = no deadlines)")
+		cancel   = flag.Float64("cancel", 0, "serve: fraction of queries whose client cancels them mid-flight, 0..1 (can%); each cancel lands a uniform [0,SLO) delay after issue")
 	)
 	flag.Parse()
 	rateAxis := parseAxis("rates", *rates, parseFloat64)
@@ -88,6 +90,14 @@ func main() {
 		}
 	}
 	policyAxis := parseAdmissionPolicies(*policies)
+	if *cancel < 0 || *cancel > 1 {
+		fmt.Fprintf(os.Stderr, "scanbench: -cancel: bad value %g: must be in [0,1]\n", *cancel)
+		os.Exit(2)
+	}
+	if *deadline < 0 {
+		fmt.Fprintf(os.Stderr, "scanbench: -deadline: bad value %v: must be positive (0 = disabled)\n", *deadline)
+		os.Exit(2)
+	}
 	if *tenants < 0 {
 		fmt.Fprintf(os.Stderr, "scanbench: -tenants: bad value %d: must be positive (0 = default)\n", *tenants)
 		os.Exit(2)
@@ -120,6 +130,10 @@ func main() {
 	if *compare {
 		if len(selAxis) > 0 || *cluster {
 			fmt.Fprintln(os.Stderr, "scanbench: -selectivities/-clustered apply only to -serve")
+			os.Exit(2)
+		}
+		if *deadline != 0 || *cancel != 0 {
+			fmt.Fprintln(os.Stderr, "scanbench: -deadline/-cancel apply only to -serve")
 			os.Exit(2)
 		}
 		co := scanshare.DefaultCompareOptions()
@@ -166,6 +180,8 @@ func main() {
 			Clustered:         *cluster,
 			QueueDepth:        *queue,
 			SLO:               *slo,
+			Deadline:          *deadline,
+			CancelRate:        *cancel,
 			Real:              *real,
 		}
 		// The per-run overrides must not fight the sweep's own axes.
@@ -186,6 +202,10 @@ func main() {
 	}
 	if len(selAxis) > 0 || *cluster {
 		fmt.Fprintln(os.Stderr, "scanbench: -selectivities/-clustered apply only to -serve")
+		os.Exit(2)
+	}
+	if *deadline != 0 || *cancel != 0 {
+		fmt.Fprintln(os.Stderr, "scanbench: -deadline/-cancel apply only to -serve")
 		os.Exit(2)
 	}
 	if flag.NArg() < 1 {
@@ -340,9 +360,10 @@ func printAblation(rows []scanshare.AblationRow, tsv bool) {
 
 // printServe renders the serving sweep: one row per (rate, MPL, policy,
 // pool shards, devices, admission policy, selectivity) cell with
-// throughput, latency percentiles, SLO attainment, the per-tenant
-// p95/SLO breakdown, the zone-map skip rate, and the achieved aggregate
-// read bandwidth; shard counts, device counts, admission policies and
+// throughput, latency percentiles, the lifecycle outcome shares (to% =
+// deadline kills, can% = client cancels, as fractions of arrivals), SLO
+// attainment, the per-tenant p95/SLO breakdown, the zone-map skip rate,
+// and the achieved aggregate read bandwidth; shard counts, device counts, admission policies and
 // selectivities of the same cell print adjacent so all four effects read
 // off directly. CScan rows print "-" for shards (the ABM replaces the
 // page pool).
@@ -355,20 +376,20 @@ func printServe(rows []scanshare.ServeRow, real, tsv bool) {
 		return strconv.Itoa(r.Shards)
 	}
 	if tsv {
-		fmt.Printf("rate_qps\tmpl\tpolicy\tadmission\tpool_shards\tdevices\tselectivity\tcompleted\trejected\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\ttenant_p95_ms\ttenant_slo_pct\tskip_pct\tio_mb\tread_mbps\n")
+		fmt.Printf("rate_qps\tmpl\tpolicy\tadmission\tpool_shards\tdevices\tselectivity\tcompleted\trejected\ttimedout_pct\tcancelled_pct\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\ttenant_p95_ms\ttenant_slo_pct\tskip_pct\tio_mb\tread_mbps\n")
 		for _, r := range rows {
-			fmt.Printf("%g\t%d\t%s\t%s\t%s\t%d\t%g\t%d\t%d\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%s\t%s\t%.1f\t%.1f\t%.1f\n",
-				r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.Selectivity, r.Completed, r.Rejected, r.Throughput,
+			fmt.Printf("%g\t%d\t%s\t%s\t%s\t%d\t%g\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%s\t%s\t%.1f\t%.1f\t%.1f\n",
+				r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.Selectivity, r.Completed, r.Rejected, r.ToPct, r.CanPct, r.Throughput,
 				r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct,
 				joinFloats(r.TenantP95ms, "%.3f"), joinFloats(r.TenantSLOPct, "%.1f"), r.SkipPct, r.IOMB, r.ReadMBps)
 		}
 		return
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "rate/stream\tMPL\tpolicy\tadmit\tshards\tdevs\tsel\tdone\trej\tthru (q/s)\tp50\tp95\tp99\tqwait p95\tSLO %\tp95/tenant\tSLO %/tenant\tskip%\tI/O MB\trd MB/s")
+	fmt.Fprintln(w, "rate/stream\tMPL\tpolicy\tadmit\tshards\tdevs\tsel\tdone\trej\tto%\tcan%\tthru (q/s)\tp50\tp95\tp99\tqwait p95\tSLO %\tp95/tenant\tSLO %/tenant\tskip%\tI/O MB\trd MB/s")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%s\t%d\t%g\t%d\t%d\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%s\t%s\t%.1f\t%.1f\t%.1f\n",
-			r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.Selectivity, r.Completed, r.Rejected, r.Throughput,
+		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%s\t%d\t%g\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%s\t%s\t%.1f\t%.1f\t%.1f\n",
+			r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.Selectivity, r.Completed, r.Rejected, r.ToPct, r.CanPct, r.Throughput,
 			r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct,
 			joinFloats(r.TenantP95ms, "%.2f"), joinFloats(r.TenantSLOPct, "%.0f"), r.SkipPct, r.IOMB, r.ReadMBps)
 	}

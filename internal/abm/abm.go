@@ -192,7 +192,18 @@ type CScan struct {
 	nextIdx   int // next chunk index (in-order mode)
 
 	avail rt.Event // fired when a chunk of interest becomes cached
+
+	// qctx is the owning query's lifecycle handle (nil when the scan has
+	// no lifecycle, the historical behavior): a cancelled owner makes
+	// GetChunk return ok=false instead of blocking, and the scheduler
+	// stops choosing this scan so no further chunks are loaded on its
+	// behalf.
+	qctx *rt.QueryCtx
 }
+
+// Bind attaches the owning query's lifecycle handle. Call once, right
+// after RegisterCScan, before the first GetChunk.
+func (cs *CScan) Bind(q *rt.QueryCtx) { cs.qctx = q }
 
 // SIDRange is a half-open range of stable tuple positions.
 type SIDRange struct{ Lo, Hi int64 }
@@ -318,11 +329,17 @@ type Delivery struct {
 
 // GetChunk blocks until a chunk of interest is cached and returns it; the
 // paper's GetChunk. It returns ok=false when every registered range has
-// been delivered.
+// been delivered — or when the owning query is cancelled, so a dead
+// consumer never parks on the avail event forever (the caller then closes
+// the scan, whose Unregister releases the interest accounting).
 func (cs *CScan) GetChunk() (*Delivery, bool) {
 	a := cs.abm
 	a.mu.Lock()
 	for {
+		if cs.qctx.Cancelled() {
+			a.mu.Unlock()
+			return nil, false
+		}
 		if cs.remaining == 0 {
 			a.mu.Unlock()
 			return nil, false
@@ -361,10 +378,16 @@ func (cs *CScan) GetChunk() (*Delivery, bool) {
 		}
 		cs.abm.work.Fire() // we are starved: let the scheduler know
 		// Register interest before dropping the mutex: a load completing
-		// between the unlock and the block would otherwise be lost.
+		// between the unlock and the block would otherwise be lost. The
+		// cancel hook fires the same event (after the Waiter registration,
+		// so a cancel landing in the gap still hits the captured
+		// generation), and the loop-top check turns the wake into
+		// ok=false.
 		w := cs.avail.Waiter()
+		stop := cs.qctx.OnCancel(cs.avail.Fire)
 		a.mu.Unlock()
 		w.Wait()
+		stop()
 		a.mu.Lock()
 	}
 }
@@ -511,13 +534,18 @@ func (a *ABM) waitWork() {
 }
 
 // chooseQuery implements QueryRelevance: prefer starved queries, then
-// shorter ones (fewest chunks remaining).
+// shorter ones (fewest chunks remaining). Scans whose owning query is
+// cancelled are never chosen: between the cancel and the consumer's
+// Unregister the ABM must not burn I/O loading chunks for a dead query.
 func (a *ABM) chooseQuery() *CScan {
 	var best *CScan
 	bestStarved := false
 	bestRemaining := 0
 	for _, tm := range a.tabOrder {
 		for _, cs := range tm.scans {
+			if cs.qctx.Cancelled() {
+				continue
+			}
 			if !a.hasLoadableChunk(cs) {
 				continue
 			}

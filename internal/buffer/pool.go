@@ -36,6 +36,12 @@ import (
 	"repro/internal/storage"
 )
 
+// ErrCancelled is returned by the owner-tagged entry points when the
+// owning query is cancelled while (or before) a reservation would block:
+// the wait point wakes instead of parking forever and no frame is pinned.
+// It is rt.ErrCancelled, so errors.Is works across layers.
+var ErrCancelled = rt.ErrCancelled
+
 // DefaultShards is the shard count used by serving configurations when
 // none is given. Figure-reproduction experiments default to 1 shard (the
 // paper's single buffer manager).
@@ -339,8 +345,26 @@ func (s *shard) wakeReservers(n int) {
 // registration (and broadcasts under this mutex, which cannot happen
 // until cond.Wait has parked us) or bumped the epoch / freed the bytes
 // before our re-check (which then observes it and returns).
-func (s *shard) waitFreed(proceed func() bool) {
+//
+// A non-nil owner makes the park cancellation-aware: cancelling q wakes
+// the waiter (the caller's loop then observes the cancellation and bails
+// with ErrCancelled). Real runtime: the cancel hook broadcasts under the
+// shard mutex, closing the same register-then-park window as above. Sim
+// runtime: the hook fires the parked event; if it was still sitting in
+// freedQ the entry is removed, and if a genuine free had already consumed
+// it the wake is passed on so no other blocked reservation is starved by
+// a wake spent on a dead query.
+func (s *shard) waitFreed(q *rt.QueryCtx, proceed func() bool) {
 	if s.pool.r.Real() {
+		var stop func()
+		if q != nil {
+			stop = q.OnCancel(func() {
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			})
+			defer stop()
+		}
 		s.pool.stalled.Add(1)
 		s.mu.Lock()
 		if proceed() {
@@ -355,16 +379,57 @@ func (s *shard) waitFreed(proceed func() bool) {
 		s.pool.stalled.Add(-1)
 		return
 	}
+	if q == nil {
+		ev := s.pool.r.NewEvent()
+		s.freedQ = append(s.freedQ, ev)
+		ev.Wait()
+		return
+	}
+	// Sim events are not sticky (a Fire with no waiter is lost), so a
+	// query found cancelled here must not park at all: the caller's loop
+	// re-observes the cancellation and bails. Between this check and
+	// ev.Wait no other sim process runs, so the hook below can only fire
+	// while we are actually parked.
+	if q.Cancelled() {
+		return
+	}
 	ev := s.pool.r.NewEvent()
 	s.freedQ = append(s.freedQ, ev)
+	stop := q.OnCancel(ev.Fire)
 	ev.Wait()
+	stop()
+	if q.Cancelled() {
+		removed := false
+		for i, e := range s.freedQ {
+			if e == ev {
+				s.freedQ = append(s.freedQ[:i], s.freedQ[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			// A real free woke us but we are abandoning the reservation:
+			// hand the wake to the next blocked reservation.
+			s.wakeReservers(1)
+		}
+	}
 }
 
 // Get returns a pinned frame for pg, reading it from disk on a miss (which
 // blocks the calling process for the modeled device time). Concurrent
 // requests for the same missing page share a single disk read.
 func (p *Pool) Get(pg *storage.Page) *Frame {
-	return p.get(pg)
+	f, _ := p.get(nil, pg)
+	return f
+}
+
+// GetOwner is Get with a lifecycle owner: if q is cancelled before or
+// while the reservation blocks, it returns (nil, ErrCancelled) instead of
+// parking forever, with no frame pinned; the disk read (if any) carries
+// the owner tag so a cancelled owner's queued device reads are skipped. A
+// nil owner is a plain Get.
+func (p *Pool) GetOwner(q *rt.QueryCtx, pg *storage.Page) (*Frame, error) {
+	return p.get(q, pg)
 }
 
 // GetRun returns a pinned frame for run[0] after ensuring every page of
@@ -373,25 +438,34 @@ func (p *Pool) Get(pg *storage.Page) *Frame {
 // so a single stream achieves sequential bandwidth. Pages run[1:] are
 // admitted unpinned and may be evicted again under pressure before use.
 func (p *Pool) GetRun(run []*storage.Page) *Frame {
+	f, _ := p.GetRunOwner(nil, run)
+	return f
+}
+
+// GetRunOwner is GetRun with a lifecycle owner (see GetOwner).
+func (p *Pool) GetRunOwner(q *rt.QueryCtx, run []*storage.Page) (*Frame, error) {
 	if len(run) == 0 {
 		panic("buffer: empty run")
 	}
 	if len(run) > 1 {
-		p.loadRun(run[1:])
+		if err := p.loadRun(q, run[1:]); err != nil {
+			return nil, err
+		}
 	}
-	return p.get(run[0])
+	return p.get(q, run[0])
 }
 
 // loadRun admits the missing pages of run (unpinned), batching contiguous
 // missing stretches into single disk reads.
-func (p *Pool) loadRun(run []*storage.Page) {
+func (p *Pool) loadRun(q *rt.QueryCtx, run []*storage.Page) error {
 	var batch []*storage.Page
-	flush := func() {
+	flush := func() error {
 		if len(batch) == 0 {
-			return
+			return nil
 		}
-		p.loadBatch(batch)
+		err := p.loadBatch(q, batch)
 		batch = nil
+		return err
 	}
 	for _, pg := range run {
 		s := p.shardOf(pg.ID)
@@ -399,15 +473,19 @@ func (p *Pool) loadRun(run []*storage.Page) {
 		_, present := s.frames[pg.ID]
 		s.mu.Unlock()
 		if present {
-			flush()
+			if err := flush(); err != nil {
+				return err
+			}
 			continue
 		}
 		if len(batch) > 0 && pg.Block != batch[len(batch)-1].Block+1 {
-			flush()
+			if err := flush(); err != nil {
+				return err
+			}
 		}
 		batch = append(batch, pg)
 	}
-	flush()
+	return flush()
 }
 
 // loadBatch reads a block-contiguous batch of absent pages, one disk
@@ -415,10 +493,15 @@ func (p *Pool) loadRun(run []*storage.Page) {
 // reservation is granted. A remainder cut off by a concurrent admission
 // is re-issued as a fresh batch instead of being dropped — GetRun's
 // run[1:] pages have no later call that would pick them up.
-func (p *Pool) loadBatch(batch []*storage.Page) {
+func (p *Pool) loadBatch(q *rt.QueryCtx, batch []*storage.Page) error {
 	for len(batch) > 0 {
-		batch = p.loadBatchPrefix(batch)
+		var err error
+		batch, err = p.loadBatchPrefix(q, batch)
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // loadBatchPrefix loads the longest still-absent block-contiguous prefix
@@ -427,14 +510,16 @@ func (p *Pool) loadBatch(batch []*storage.Page) {
 // page (under the page's shard mutex): the reservation may have blocked,
 // and another process may have started loading some of these pages
 // meanwhile — or, on the real runtime, may do so between any two pages.
-func (p *Pool) loadBatchPrefix(batch []*storage.Page) []*storage.Page {
+func (p *Pool) loadBatchPrefix(q *rt.QueryCtx, batch []*storage.Page) ([]*storage.Page, error) {
 	var bytes int64
 	for _, pg := range batch {
 		bytes += pg.Bytes
 	}
 	// Reserve against the head page's shard: the byte budget is global,
 	// the shard only anchors victim preference and the stall queue.
-	p.shardOf(batch[0].ID).reserve(bytes)
+	if err := p.shardOf(batch[0].ID).reserve(q, bytes); err != nil {
+		return nil, err
+	}
 	ev := p.r.NewEvent()
 	var kept []*storage.Page
 	var frames []*Frame
@@ -469,7 +554,7 @@ func (p *Pool) loadBatchPrefix(batch []*storage.Page) []*storage.Page {
 		lastBlock = pg.Block
 	}
 	if len(kept) == 0 {
-		return rest
+		return rest, nil
 	}
 	// Issue the batch split at stripe-chunk boundaries, one sub-read per
 	// owning device with its exact page-byte volume; the devices transfer
@@ -485,7 +570,7 @@ func (p *Pool) loadBatchPrefix(batch []*storage.Page) []*storage.Page {
 		}
 		spans = append(spans, iosim.Span{Block: pg.Block, Blocks: 1, Bytes: pg.Bytes})
 	}
-	p.disk.ReadSpans(spans)
+	p.disk.ReadSpansOwner(q, spans)
 	for i, pg := range kept {
 		s := p.shardOf(pg.ID)
 		s.mu.Lock()
@@ -497,11 +582,18 @@ func (p *Pool) loadBatchPrefix(batch []*storage.Page) []*storage.Page {
 	}
 	ev.Fire()
 	p.shardOf(kept[0].ID).wakeReservers(1)
-	return rest
+	return rest, nil
 }
 
-func (p *Pool) get(pg *storage.Page) *Frame {
+// get is the shared hit/miss path. Cancellation is only checked outside
+// the shard mutex: the lazy deadline check inside QueryCtx.Cancelled can
+// run cancel hooks, and a hook registered by another process of the same
+// query (an XChg sibling parked in waitFreed) may need this very mutex.
+func (p *Pool) get(q *rt.QueryCtx, pg *storage.Page) (*Frame, error) {
 	s := p.shardOf(pg.ID)
+	if q != nil && q.Cancelled() {
+		return nil, ErrCancelled
+	}
 	s.mu.Lock()
 	for {
 		if f, ok := s.frames[pg.ID]; ok {
@@ -509,6 +601,9 @@ func (p *Pool) get(pg *storage.Page) *Frame {
 				w := s.inFlight[pg.ID].Waiter()
 				s.mu.Unlock()
 				w.Wait()
+				if q != nil && q.Cancelled() {
+					return nil, ErrCancelled
+				}
 				s.mu.Lock()
 				continue // re-check: the frame may have been re-evicted
 			}
@@ -519,10 +614,12 @@ func (p *Pool) get(pg *storage.Page) *Frame {
 			}
 			s.policy.Accessed(f)
 			s.mu.Unlock()
-			return f
+			return f, nil
 		}
 		s.mu.Unlock()
-		s.reserve(pg.Bytes)
+		if err := s.reserve(q, pg.Bytes); err != nil {
+			return nil, err
+		}
 		s.mu.Lock()
 		// reserve may block: another process may have admitted the page.
 		if _, ok := s.frames[pg.ID]; ok {
@@ -548,7 +645,7 @@ func (p *Pool) get(pg *storage.Page) *Frame {
 	s.mu.Unlock()
 	p.used.Add(pg.Bytes)
 	p.nLoading.Add(1)
-	p.disk.Read(pg.Block, 1, pg.Bytes)
+	p.disk.ReadOwner(q, pg.Block, 1, pg.Bytes)
 	s.mu.Lock()
 	f.loading = false
 	delete(s.inFlight, pg.ID)
@@ -557,7 +654,7 @@ func (p *Pool) get(pg *storage.Page) *Frame {
 	p.nLoading.Add(-1)
 	ev.Fire()
 	s.wakeReservers(1)
-	return f
+	return f, nil
 }
 
 // reserve evicts victims until bytes fit within the global capacity,
@@ -576,13 +673,20 @@ func (p *Pool) get(pg *storage.Page) *Frame {
 // bookkeeping (page payloads live in memory regardless), and the
 // overshoot is paid back by the very next reservation's evictions.
 // Called WITHOUT the shard mutex held.
-func (s *shard) reserve(bytes int64) {
+//
+// A non-nil owner turns a blocked reservation into a cancellable one:
+// cancelling q wakes the park (waitFreed) and reserve returns
+// ErrCancelled without reserving.
+func (s *shard) reserve(q *rt.QueryCtx, bytes int64) error {
 	p := s.pool
 	if bytes > p.capacity {
 		panic(fmt.Sprintf("buffer: request of %d bytes exceeds pool capacity %d", bytes, p.capacity))
 	}
 	idleSpins := 0
 	for p.used.Load()+bytes > p.capacity {
+		if q != nil && q.Cancelled() {
+			return ErrCancelled
+		}
 		// Snapshot the wake epoch before trying to evict: any unpin,
 		// free, or load completion after this point bumps it, and the
 		// park-time predicate below treats a bump as "retry eviction"
@@ -613,10 +717,11 @@ func (s *shard) reserve(bytes int64) {
 		s.mu.Lock()
 		s.stats.Stalls++
 		s.mu.Unlock()
-		s.waitFreed(func() bool {
-			return p.used.Load()+bytes <= p.capacity || p.freeEpoch.Load() != epoch
+		s.waitFreed(q, func() bool {
+			return p.used.Load()+bytes <= p.capacity || p.freeEpoch.Load() != epoch || q.Cause() != rt.CauseNone
 		})
 	}
+	return nil
 }
 
 // evictOne removes one victim offered by this shard's policy, reporting

@@ -131,6 +131,9 @@ func (s *AttachScan) segmentScan(lo, hi int64) *Scan {
 // Next implements Operator.
 func (s *AttachScan) Next() *Batch {
 	for {
+		if s.Ctx.Query.Cancelled() {
+			return nil // Close releases the inner scan and the registry handle
+		}
 		if s.phase == 2 || s.inner == nil {
 			return nil
 		}

@@ -103,10 +103,17 @@ func (s *CScan) Open() {
 		return
 	}
 	s.cs = s.Ctx.ABM.RegisterCScan(s.Snap, s.Cols, sids, s.InOrder)
+	// Bind the owning query before the first GetChunk: once the query is
+	// cancelled the ABM scheduler stops loading chunks for this scan and
+	// GetChunk returns immediately.
+	s.cs.Bind(s.Ctx.Query)
 }
 
 // Next implements Operator.
 func (s *CScan) Next() *Batch {
+	if s.Ctx.Query.Cancelled() {
+		return nil
+	}
 	s.out.Reset()
 	for s.out.N < VectorSize {
 		if s.pureInserts {
@@ -227,7 +234,9 @@ func (s *CScan) chunkSegments(d *abm.Delivery) []pdt.Segment {
 	return out
 }
 
-// Close implements Operator.
+// Close implements Operator. Idempotent: the pinned delivery and the
+// ABM registration are released exactly once, so a cancelled query's
+// chunks become evictable as soon as the first Close runs.
 func (s *CScan) Close() {
 	if s.cur != nil {
 		s.cur.Release()

@@ -66,6 +66,10 @@ type Ctx struct {
 	// subplan producers to (real runtime; sized by the core count). Nil
 	// means one cooperative process per subplan (sim runtime).
 	Workers *rt.WorkerPool
+	// Query is the lifecycle handle of the query this plan executes (see
+	// WithQuery); nil means the query can never be cancelled and every
+	// operator runs its historical, check-free path.
+	Query *QueryCtx
 }
 
 // work charges d against the context's CPU model, if any.

@@ -17,8 +17,9 @@ type Select struct {
 	// PerTupleCPU, if nonzero, is charged per input tuple.
 	PerTupleCPU sim.Duration
 
-	out  *Batch
-	pred Vec
+	out    *Batch
+	pred   Vec
+	closed bool
 }
 
 // Op is an alias to keep plan literals compact.
@@ -60,15 +61,23 @@ func (s *Select) Next() *Batch {
 	}
 }
 
-// Close implements Operator.
-func (s *Select) Close() { s.Child.Close() }
+// Close implements Operator. Idempotent: a second Close does not reach
+// the child.
+func (s *Select) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.Child.Close()
+}
 
 // Project computes expressions over its child.
 type Project struct {
 	Child Op
 	Exprs []Expr
 
-	out *Batch
+	out    *Batch
+	closed bool
 }
 
 // Schema implements Operator.
@@ -99,8 +108,15 @@ func (p *Project) Next() *Batch {
 	return p.out
 }
 
-// Close implements Operator.
-func (p *Project) Close() { p.Child.Close() }
+// Close implements Operator. Idempotent: a second Close does not reach
+// the child.
+func (p *Project) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.Child.Close()
+}
 
 // AggKind enumerates aggregate functions.
 type AggKind int
@@ -149,6 +165,7 @@ type HashAggr struct {
 	order   []*aggState
 	emitted bool
 	out     *Batch
+	closed  bool
 }
 
 // Schema implements Operator: group columns followed by aggregates
@@ -327,8 +344,15 @@ func (a *HashAggr) consume() {
 	sort.Slice(a.order, func(i, j int) bool { return a.order[i].key[0] < a.order[j].key[0] })
 }
 
-// Close implements Operator.
-func (a *HashAggr) Close() { a.Child.Close() }
+// Close implements Operator. Idempotent: a second Close does not reach
+// the child.
+func (a *HashAggr) Close() {
+	if a.closed {
+		return
+	}
+	a.closed = true
+	a.Child.Close()
+}
 
 // HashJoin is an equi-join: it builds a hash table from the Build child
 // on BuildKey and probes with the Probe child on ProbeKey (int64 keys,
@@ -343,9 +367,10 @@ type HashJoin struct {
 	// PerTupleCPU, if nonzero, is charged per probe tuple.
 	PerTupleCPU sim.Duration
 
-	table map[int64][]int // key -> row indexes in built
-	built *Batch
-	out   *Batch
+	table  map[int64][]int // key -> row indexes in built
+	built  *Batch
+	out    *Batch
+	closed bool
 }
 
 // Schema implements Operator.
@@ -398,8 +423,16 @@ func (j *HashJoin) Next() *Batch {
 	}
 }
 
-// Close implements Operator.
-func (j *HashJoin) Close() { j.Probe.Close() }
+// Close implements Operator (the build side was already closed by
+// Collect in Open). Idempotent: a second Close does not reach the probe
+// child.
+func (j *HashJoin) Close() {
+	if j.closed {
+		return
+	}
+	j.closed = true
+	j.Probe.Close()
+}
 
 // SortSpec orders by column Col, descending when Desc.
 type SortSpec struct {
@@ -420,6 +453,7 @@ type Sort struct {
 	pos    int
 	opened bool
 	sorted bool
+	closed bool
 	out    *Batch
 }
 
@@ -483,8 +517,15 @@ func (s *Sort) Next() *Batch {
 	return s.out
 }
 
-// Close implements Operator.
-func (s *Sort) Close() { s.Child.Close() }
+// Close implements Operator. Idempotent: a second Close does not reach
+// the child.
+func (s *Sort) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.Child.Close()
+}
 
 // nopClose adapts an already-open child for Collect (which opens/closes).
 type nopClose struct{ Op }

@@ -24,6 +24,7 @@ type OrderedAggr struct {
 	isums    []int64
 	n        int64
 	childEOF bool
+	closed   bool
 }
 
 // Schema implements Operator: group columns then aggregates (AggSum and
@@ -166,5 +167,12 @@ func (a *OrderedAggr) emit(child []storage.ColumnType) {
 	a.out.N++
 }
 
-// Close implements Operator.
-func (a *OrderedAggr) Close() { a.Child.Close() }
+// Close implements Operator. Idempotent: a second Close does not reach
+// the child.
+func (a *OrderedAggr) Close() {
+	if a.closed {
+		return
+	}
+	a.closed = true
+	a.Child.Close()
+}

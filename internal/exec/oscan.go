@@ -84,6 +84,9 @@ func (s *OScan) Open() {
 // Next implements Operator.
 func (s *OScan) Next() *Batch {
 	for {
+		if s.Ctx.Query.Cancelled() {
+			return nil // Close releases the inner section scan
+		}
 		if s.inner != nil {
 			if b := s.inner.Next(); b != nil {
 				return b

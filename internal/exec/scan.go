@@ -55,6 +55,7 @@ type Scan struct {
 	pbmOn    bool
 	consumed int64 // stable tuples consumed (PBM progress unit)
 	opened   bool
+	closed   bool
 }
 
 // rangePlan is the merge plan of one RID range.
@@ -130,6 +131,9 @@ func (s *Scan) Open() {
 
 // Next implements Operator.
 func (s *Scan) Next() *Batch {
+	if s.Ctx.Query.Cancelled() {
+		return nil
+	}
 	s.out.Reset()
 	for s.out.N < VectorSize {
 		if s.curPlan >= len(s.plans) {
@@ -152,7 +156,11 @@ func (s *Scan) Next() *Batch {
 			}
 			base := s.out.N
 			for i, rd := range s.readers {
-				rd.read(lo, hi, plan.sidEnd, s.out.Vecs[i])
+				if err := rd.read(lo, hi, plan.sidEnd, s.out.Vecs[i]); err != nil {
+					// Cancelled at a blocking pool wait: the partial batch
+					// is discarded — nobody will consume it.
+					return nil
+				}
 			}
 			// Apply per-SID modifications.
 			if len(seg.Mods) > 0 {
@@ -210,8 +218,13 @@ func (s *Scan) Next() *Batch {
 	return s.out
 }
 
-// Close implements Operator.
+// Close implements Operator. Idempotent: the cancel path may close a
+// plan that its driver also closes.
 func (s *Scan) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
 	for _, rd := range s.readers {
 		rd.release()
 	}
@@ -257,14 +270,17 @@ type colReader struct {
 func (r *colReader) release() {}
 
 // read appends column values for SIDs [lo,hi) to out, faulting pages via
-// the pool with read-ahead up to sidEnd.
-func (r *colReader) read(lo, hi, sidEnd int64, out *Vec) {
+// the pool with read-ahead up to sidEnd. It returns buffer.ErrCancelled
+// when the owning query died at a blocking reservation.
+func (r *colReader) read(lo, hi, sidEnd int64, out *Vec) error {
 	snap := r.scan.Snap
 	pool := r.scan.Ctx.Pool
+	owner := r.scan.Ctx.Query
 	for _, pg := range snap.PagesInRange(r.col, lo, hi) {
 		var f *buffer.Frame
+		var err error
 		if pool.Contains(pg) {
-			f = pool.Get(pg)
+			f, err = pool.GetOwner(owner, pg)
 		} else {
 			ra := r.scan.Ctx.ReadAheadTuples
 			if ra <= 0 {
@@ -278,7 +294,10 @@ func (r *colReader) read(lo, hi, sidEnd int64, out *Vec) {
 			if len(run) == 0 {
 				run = []*storage.Page{pg}
 			}
-			f = pool.GetRun(run)
+			f, err = pool.GetRunOwner(owner, run)
+		}
+		if err != nil {
+			return err
 		}
 		a := int64(0)
 		if lo > pg.FirstSID {
@@ -298,4 +317,5 @@ func (r *colReader) read(lo, hi, sidEnd int64, out *Vec) {
 		}
 		pool.Unpin(f)
 	}
+	return nil
 }

@@ -37,6 +37,15 @@ type XChg struct {
 	running int
 	out     *Batch
 	opened  bool
+	closed  bool
+
+	// stopCancel deregisters the query-cancel hook installed at Open. The
+	// hook is the bridge between the query lifecycle and the operator's
+	// own wake-up machinery: on the sim runtime it fires both queue
+	// events, on the real runtime it closes the cancel channel — the same
+	// channel Close uses — so a client cancel and an early consumer close
+	// travel the identical shutdown path.
+	stopCancel func()
 
 	// Real-runtime state.
 	ch        chan *Batch
@@ -69,6 +78,15 @@ func (x *XChg) Open() {
 	}
 	x.space = x.Ctx.RT.NewEvent()
 	x.ready = x.Ctx.RT.NewEvent()
+	// One persistent hook covers every park in this operator: a cancel
+	// fires both events, waking parked producers (space) and the consumer
+	// (ready), which re-check the lifecycle before parking again. Sim
+	// events are not sticky, but the sim runs one process at a time, so a
+	// check-then-park pair cannot be split by a cancel.
+	x.stopCancel = x.Ctx.Query.OnCancel(func() {
+		x.space.Fire()
+		x.ready.Fire()
+	})
 	x.running = len(x.Parts)
 	cap := x.QueueCap * len(x.Parts)
 	for _, mk := range x.Parts {
@@ -77,14 +95,22 @@ func (x *XChg) Open() {
 			op := mk()
 			op.Open()
 			defer op.Close()
-			for {
+			for !x.Ctx.Query.Cancelled() {
 				b := op.Next()
 				if b == nil {
 					break
 				}
 				cp := copyBatch(x.schema, b)
+				parked := false
 				for len(x.queue) >= cap {
+					if x.Ctx.Query.Cancelled() {
+						parked = true
+						break
+					}
 					x.space.Wait()
+				}
+				if parked {
+					break
 				}
 				x.queue = append(x.queue, cp)
 				x.ready.Fire()
@@ -114,6 +140,13 @@ func copyBatch(schema []storage.ColumnType, b *Batch) *Batch {
 func (x *XChg) openReal() {
 	x.ch = make(chan *Batch, x.QueueCap*len(x.Parts))
 	x.cancel = make(chan struct{})
+	// A query cancel closes the same cancel channel an early consumer
+	// close does: producers parked on a full channel unblock, new sends
+	// stop, the closer seals the channel, and a consumer parked on
+	// receive drains out. closeOnce makes the two paths race-safe.
+	x.stopCancel = x.Ctx.Query.OnCancel(func() {
+		x.closeOnce.Do(func() { close(x.cancel) })
+	})
 	var wg sync.WaitGroup
 	wg.Add(len(x.Parts))
 	for _, mk := range x.Parts {
@@ -123,7 +156,7 @@ func (x *XChg) openReal() {
 			op := mk()
 			op.Open()
 			defer op.Close()
-			for {
+			for !x.Ctx.Query.Cancelled() {
 				b := op.Next()
 				if b == nil {
 					return
@@ -131,7 +164,7 @@ func (x *XChg) openReal() {
 				select {
 				case x.ch <- copyBatch(x.schema, b):
 				case <-x.cancel:
-					return // consumer closed early: stop producing
+					return // consumer closed early or query cancelled
 				}
 			}
 		})
@@ -142,8 +175,13 @@ func (x *XChg) openReal() {
 	})
 }
 
-// Next implements Operator: pops merged batches in arrival order.
+// Next implements Operator: pops merged batches in arrival order. A
+// cancelled query yields end-of-stream; the producers observe the same
+// cancel and wind down on their own.
 func (x *XChg) Next() *Batch {
+	if x.Ctx.Query.Cancelled() {
+		return nil
+	}
 	if x.ch != nil {
 		return <-x.ch // nil when closed and drained
 	}
@@ -158,12 +196,23 @@ func (x *XChg) Next() *Batch {
 			return nil
 		}
 		x.ready.Wait()
+		if x.Ctx.Query.Cancelled() {
+			return nil
+		}
 	}
 }
 
 // Close implements Operator: drains any remaining producer output so the
-// worker processes terminate.
+// worker processes terminate. Idempotent — the cancel path and the plan
+// driver may both close the operator.
 func (x *XChg) Close() {
+	if x.closed {
+		return
+	}
+	x.closed = true
+	if x.stopCancel != nil {
+		x.stopCancel()
+	}
 	if x.ch != nil {
 		x.closeOnce.Do(func() { close(x.cancel) })
 		for range x.ch {

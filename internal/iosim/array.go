@@ -116,11 +116,18 @@ func (a *DeviceArray) StripeBoundary(b BlockID) bool {
 // boundaries and the pieces proceed concurrently on their owning devices;
 // the call returns when the last piece completes.
 func (a *DeviceArray) Read(b BlockID, blocks int, bytes int64) {
+	a.ReadOwner(nil, b, blocks, bytes)
+}
+
+// ReadOwner is Read with a lifecycle owner tag (see Disk.ReadOwner): a
+// cancelled owner's queued sub-reads are skipped at their service turn on
+// every spindle instead of transferring bytes nobody will consume.
+func (a *DeviceArray) ReadOwner(q *rt.QueryCtx, b BlockID, blocks int, bytes int64) {
 	if len(a.devices) == 1 {
-		a.devices[0].Read(b, blocks, bytes)
+		a.devices[0].ReadOwner(q, b, blocks, bytes)
 		return
 	}
-	a.ReadSpans([]Span{{Block: b, Blocks: blocks, Bytes: bytes}})
+	a.ReadSpansOwner(q, []Span{{Block: b, Blocks: blocks, Bytes: bytes}})
 }
 
 // ReadSpans issues a batch of block runs as one request: every span is
@@ -141,9 +148,17 @@ func (a *DeviceArray) Read(b BlockID, blocks int, bytes int64) {
 // MaxQueueLen therefore reports batch-level queue pressure, slightly
 // above the pure per-transfer depth.
 func (a *DeviceArray) ReadSpans(spans []Span) {
+	a.ReadSpansOwner(nil, spans)
+}
+
+// ReadSpansOwner is ReadSpans with a lifecycle owner tag: each sub-read
+// checks the owner at its own service turn, so a batch whose owner is
+// cancelled while queued is skipped device by device (sub-reads already
+// in service on other spindles complete normally).
+func (a *DeviceArray) ReadSpansOwner(q *rt.QueryCtx, spans []Span) {
 	if len(a.devices) == 1 {
 		for _, s := range spans {
-			a.devices[0].Read(s.Block, s.Blocks, s.Bytes)
+			a.devices[0].ReadOwner(q, s.Block, s.Blocks, s.Bytes)
 		}
 		return
 	}
@@ -194,7 +209,7 @@ func (a *DeviceArray) ReadSpans(spans []Span) {
 	// FIFO admission), then sleep once until the last completes.
 	var until rt.Time
 	for _, s := range subs {
-		u := a.devices[s.dev].start(s.span.Block, s.span.Blocks, s.span.Bytes)
+		u := a.devices[s.dev].start(q, s.span.Block, s.span.Blocks, s.span.Bytes)
 		if u > until {
 			until = u
 		}
@@ -230,6 +245,7 @@ func (a *DeviceArray) Stats() ArrayStats {
 		out.BytesRead += s.BytesRead
 		out.Requests += s.Requests
 		out.Seeks += s.Seeks
+		out.Skipped += s.Skipped
 		out.BusyTime += s.BusyTime
 		if s.MaxQueueLen > out.MaxQueueLen {
 			out.MaxQueueLen = s.MaxQueueLen

@@ -43,7 +43,8 @@ type Stats struct {
 	Requests    int64 // number of read requests
 	Seeks       int64 // requests that were not sequential with the previous one
 	BusyTime    rt.Duration
-	MaxQueueLen int // high-water mark of queued requests
+	MaxQueueLen int   // high-water mark of queued requests
+	Skipped     int64 // queued requests dropped unserviced: owner cancelled before service
 }
 
 // Disk is one simulated spindle: a block device with fixed sequential
@@ -122,7 +123,16 @@ func (d *Disk) Bandwidth() float64 { return d.bandwidth }
 // number of consecutive BlockIDs covered (used for sequentiality
 // tracking).
 func (d *Disk) Read(b BlockID, blocks int, bytes int64) {
-	until := d.start(b, blocks, bytes)
+	d.ReadOwner(nil, b, blocks, bytes)
+}
+
+// ReadOwner is Read with a lifecycle owner tag: if the owning query is
+// cancelled by the time the request reaches the head of the device queue,
+// the transfer is skipped at start — no seek, no busy time, no byte
+// accounting — instead of being serviced for a consumer that will never
+// look at the result. A nil owner is a plain Read.
+func (d *Disk) ReadOwner(q *rt.QueryCtx, b BlockID, blocks int, bytes int64) {
+	until := d.start(q, b, blocks, bytes)
 	d.r.SleepUntil(until)
 	d.depart()
 }
@@ -132,7 +142,14 @@ func (d *Disk) Read(b BlockID, blocks int, bytes int64) {
 // itself. DeviceArray uses the start/depart split to admit the sub-reads
 // of one striped request on several devices and then sleep once until the
 // last of them completes.
-func (d *Disk) start(b BlockID, blocks int, bytes int64) rt.Time {
+//
+// The owner tag is inspected exactly once, at the request's service turn:
+// a request whose owner is already cancelled is retired immediately with
+// only the Skipped counter touched. The queue accounting (queued,
+// MaxQueueLen, the FIFO ticket) is unchanged either way — a skipped
+// request occupied its queue slot until its turn came, which is what the
+// depth counters measure.
+func (d *Disk) start(q *rt.QueryCtx, b BlockID, blocks int, bytes int64) rt.Time {
 	if bytes <= 0 || blocks <= 0 {
 		panic(fmt.Sprintf("iosim: bad read: %d blocks, %d bytes", blocks, bytes))
 	}
@@ -149,6 +166,14 @@ func (d *Disk) start(b BlockID, blocks int, bytes int64) rt.Time {
 	// runtime: never waits (see the tickets field comment).
 	for ticket != d.serving {
 		d.admit.Wait()
+	}
+
+	if q != nil && q.Cancelled() {
+		d.stats.Skipped++
+		d.serving++
+		d.admit.Broadcast()
+		d.mu.Unlock()
+		return d.r.Now()
 	}
 
 	start := d.r.Now()

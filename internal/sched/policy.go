@@ -27,7 +27,19 @@ type Pending struct {
 	// and starvation-free within a priority class.
 	Order int64
 
-	ev rt.Event // fired by the scheduler to hand the freed MPL slot over
+	ev     rt.Event // fired by the scheduler to hand the freed MPL slot over
+	arrive sim.Time // arrival timestamp, for queue-drop latency accounting
+
+	// qctx is the query's lifecycle handle (nil when the caller runs
+	// without one). The scheduler consults it when the entry reaches the
+	// head of the queue: a dead entry is dropped instead of admitted.
+	qctx *rt.QueryCtx
+	// granted and dropCause record, under the scheduler mutex, how the
+	// entry left the queue: exactly one of them is set before ev fires.
+	// The parked AdmitQuery reads them on wake-up to learn whether it was
+	// handed the MPL slot or dropped.
+	granted   bool
+	dropCause rt.CancelCause
 }
 
 // AdmissionPolicy orders the admission queue: it owns the waiting set and
@@ -44,6 +56,11 @@ type AdmissionPolicy interface {
 	// Next removes and returns the query to admit next, or nil when no
 	// query is waiting.
 	Next() *Pending
+	// Remove deletes a specific waiting entry (a cancelled or expired
+	// query that must not occupy a queue slot), reporting whether it was
+	// present. Removal must not disturb the relative order of the
+	// remaining entries.
+	Remove(p *Pending) bool
 	// Len reports the number of waiting queries.
 	Len() int
 	// UsesCost reports whether the policy consults Pending.Cost, so
@@ -122,6 +139,16 @@ func (f *fifoPolicy) Next() *Pending {
 	return p
 }
 
+func (f *fifoPolicy) Remove(p *Pending) bool {
+	for i, q := range f.q {
+		if q == p {
+			f.q = append(f.q[:i], f.q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // sesfPolicy admits the waiting query with the smallest expected work
 // (shortest-expected-scan-first): with execution times known up front —
 // which the predictive buffer manager's speed estimates approximate —
@@ -150,6 +177,16 @@ func (s *sesfPolicy) Next() *Pending {
 	p := s.q[best]
 	s.q = append(s.q[:best], s.q[best+1:]...)
 	return p
+}
+
+func (s *sesfPolicy) Remove(p *Pending) bool {
+	for i, q := range s.q {
+		if q == p {
+			s.q = append(s.q[:i], s.q[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // wfqPolicy implements per-tenant weighted fair queueing over admissions
@@ -235,6 +272,27 @@ func (w *wfqPolicy) Next() *Pending {
 	w.vtime = item.tag
 	w.prune()
 	return item.p
+}
+
+// Remove splices a dead entry out of its tenant's FIFO. The tenant's
+// lastTag is left in place: later arrivals of the same tenant keep their
+// already-assigned start tags consistent, and prune() reclaims the entry
+// once the virtual clock passes it, exactly as for a drained tenant.
+func (w *wfqPolicy) Remove(p *Pending) bool {
+	q := w.queues[p.Tenant]
+	for i, item := range q {
+		if item.p != p {
+			continue
+		}
+		if len(q) == 1 {
+			delete(w.queues, p.Tenant)
+		} else {
+			w.queues[p.Tenant] = append(q[:i:i], q[i+1:]...)
+		}
+		w.n--
+		return true
+	}
+	return false
 }
 
 // prune drops per-tenant state that can no longer influence any future

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rt"
 	"repro/internal/sim"
@@ -64,14 +65,20 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// QueryStat is the recorded life cycle of one completed query.
+// QueryStat is the recorded life cycle of one resolved query. Completed
+// queries carry Cause == rt.CauseNone; queue drops and mid-execution
+// kills record why the query died.
 type QueryStat struct {
 	// Stream and Seq identify the query within its client stream; Tenant
 	// is its fairness domain.
 	Stream, Seq, Tenant int
 	// Arrive, Admit and Finish are virtual timestamps: arrival at the
-	// scheduler, admission to execution, and completion.
+	// scheduler, admission to execution, and completion. For a queue drop
+	// Admit and Finish are both the drop time, so Latency() is the time
+	// the entry wasted in the queue.
 	Arrive, Admit, Finish sim.Time
+	// Cause is why the query died (rt.CauseNone for completed queries).
+	Cause rt.CancelCause
 }
 
 // QueueWait is the time the query spent in the admission queue.
@@ -101,7 +108,15 @@ type Scheduler struct {
 	arrived   int64
 	rejected  int64
 	completed []QueryStat
+	dropped   []QueryStat // queue drops: entries that died before admission
+	killed    []QueryStat // mid-execution kills: admitted, then cancelled/expired
 	maxQueue  int
+
+	// pending mirrors the policy's waiting set in arrival order, so the
+	// scheduler can reap expired entries without asking the policy to
+	// enumerate its queue. Every entry in pending is also in the policy
+	// until it is granted or dropped.
+	pending []*Pending
 }
 
 // New creates a scheduler bound to the runtime. It panics on an
@@ -134,17 +149,34 @@ type Query struct {
 	// time — the exec/pbm cost hook supplies it from table size and scan
 	// speed estimates. Only cost-aware policies (sesf) consult it.
 	Cost float64
+	// Ctx is the query's lifecycle handle: a query cancelled while queued
+	// is dropped instead of admitted, and a queued query whose deadline
+	// passes is dropped with rt.CauseAdmissionTimeout. Nil disables
+	// lifecycle handling for this query (the historical behavior).
+	Ctx *rt.QueryCtx
 }
 
-// Ticket is the admission handle of a running query; call Done exactly
-// once when the query finishes.
+// Ticket is the admission handle of a running query. Resolve it exactly
+// once: Done when the query finishes, Cancel when it dies mid-execution.
+// The terminal transition is atomic — the first of Done/Cancel wins and
+// the other is a no-op — so a client cancel racing a natural completion
+// needs no external coordination.
 type Ticket struct {
 	s                   *Scheduler
 	stream, seq, tenant int
 	arrive              sim.Time
 	admit               sim.Time
-	done                bool
+	qctx                *rt.QueryCtx
+	state               atomic.Int32
 }
+
+// Ticket terminal states: the first CompareAndSwap out of ticketActive
+// wins; the loser's call is a no-op.
+const (
+	ticketActive int32 = iota
+	ticketDone
+	ticketCancelled
+)
 
 // Arrive reports when the ticket's query arrived at the scheduler.
 func (t *Ticket) Arrive() sim.Time { return t.arrive }
@@ -165,7 +197,7 @@ func (s *Scheduler) Admit(stream, seq int) (*Ticket, bool) {
 func (s *Scheduler) AdmitQuery(q Query) (*Ticket, bool) {
 	s.mu.Lock()
 	s.arrived++
-	t := &Ticket{s: s, stream: q.Stream, seq: q.Seq, tenant: q.Tenant, arrive: s.r.Now()}
+	t := &Ticket{s: s, stream: q.Stream, seq: q.Seq, tenant: q.Tenant, arrive: s.r.Now(), qctx: q.Ctx}
 	if s.running < s.cfg.MPL {
 		s.running++
 		t.admit = t.arrive
@@ -173,7 +205,23 @@ func (s *Scheduler) AdmitQuery(q Query) (*Ticket, bool) {
 		return t, true
 	}
 	if s.cfg.QueueDepth >= 0 && s.policy.Len() >= s.cfg.QueueDepth {
-		s.rejected++
+		// Before rejecting a live arrival, reap queued entries that are
+		// already dead: a cancelled or expired entry must not hold a
+		// queue slot against queries that could still run.
+		s.reapDeadLocked()
+		if s.policy.Len() >= s.cfg.QueueDepth {
+			s.rejected++
+			s.mu.Unlock()
+			return nil, false
+		}
+	}
+	if q.Ctx.Cancelled() {
+		// Dead on arrival: never enqueue. (An already-cancelled query's
+		// OnCancel hook would fire the slot event before anyone waits on
+		// it — on the simulator that wake-up is lost and the entry would
+		// park forever.)
+		cause := q.Ctx.Cause()
+		s.recordDropLocked(q.Stream, q.Seq, q.Tenant, t.arrive, cause)
 		s.mu.Unlock()
 		return nil, false
 	}
@@ -181,42 +229,190 @@ func (s *Scheduler) AdmitQuery(q Query) (*Ticket, bool) {
 	p := &Pending{
 		Stream: q.Stream, Seq: q.Seq, Tenant: q.Tenant,
 		Cost: q.Cost, Order: s.order, ev: s.r.NewEvent(),
+		arrive: t.arrive, qctx: q.Ctx,
 	}
 	s.policy.Enqueue(p)
+	s.pending = append(s.pending, p)
 	if n := s.policy.Len(); n > s.maxQueue {
 		s.maxQueue = n
 	}
 	// The releasing query transfers its MPL slot directly to the policy's
 	// pick before firing the event, so on wake-up the slot is ours.
 	// Interest is registered before the mutex is dropped, so a transfer
-	// racing the block cannot be lost.
+	// racing the block cannot be lost. A cancel while queued fires the
+	// same event (the Waiter is taken first, so a cancel landing between
+	// hook registration and the park still wakes the captured
+	// generation); the entry then removes itself below.
 	waitSlot := p.ev.Waiter()
+	stop := q.Ctx.OnCancel(p.ev.Fire)
 	s.mu.Unlock()
 	waitSlot.Wait()
-	t.admit = s.r.Now()
-	return t, true
+	stop()
+	if q.Ctx == nil {
+		// Historical path: the only possible wake-up is a slot grant.
+		t.admit = s.r.Now()
+		return t, true
+	}
+	s.mu.Lock()
+	switch {
+	case p.granted:
+		// The slot is ours — even if the query was cancelled while the
+		// grant was in flight. It counts as admitted; the executor sees
+		// the cancel at its first check and resolves the ticket with
+		// Cancel, so the accounting stays single-bucket.
+		t.admit = s.r.Now()
+		s.mu.Unlock()
+		return t, true
+	case p.dropCause != rt.CauseNone:
+		// A slot-releasing query or the queue-full reaper already removed
+		// and recorded this entry.
+		s.mu.Unlock()
+		return nil, false
+	default:
+		// Woken by our own cancel hook while still queued: take the entry
+		// out of the queue and record the drop.
+		cause := q.Ctx.Cause()
+		if cause == rt.CauseNone {
+			cause = rt.CauseAdmissionTimeout
+		}
+		p.dropCause = cause
+		s.policy.Remove(p)
+		s.unpendLocked(p)
+		s.recordDropLocked(p.Stream, p.Seq, p.Tenant, p.arrive, cause)
+		s.mu.Unlock()
+		return nil, false
+	}
+}
+
+// pendingDeadCause classifies a queued entry at time now: the cause it
+// should be dropped with, or rt.CauseNone while it is still admittable.
+func pendingDeadCause(p *Pending, now sim.Time) rt.CancelCause {
+	if c := p.qctx.Cause(); c != rt.CauseNone {
+		return c
+	}
+	if p.qctx.Expired(now) {
+		return rt.CauseAdmissionTimeout
+	}
+	return rt.CauseNone
+}
+
+// reapDeadLocked drops every queued entry that is already cancelled or
+// past its deadline, freeing their queue slots. Caller holds s.mu.
+func (s *Scheduler) reapDeadLocked() {
+	now := s.r.Now()
+	for i := 0; i < len(s.pending); {
+		p := s.pending[i]
+		if p.granted || p.dropCause != rt.CauseNone {
+			i++
+			continue
+		}
+		cause := pendingDeadCause(p, now)
+		if cause == rt.CauseNone {
+			i++
+			continue
+		}
+		p.dropCause = cause
+		s.policy.Remove(p)
+		s.pending = append(s.pending[:i], s.pending[i+1:]...)
+		s.recordDropLocked(p.Stream, p.Seq, p.Tenant, p.arrive, cause)
+		// An expiry must also cancel the query's context so every layer
+		// agrees it is dead; the entry's own parked AdmitQuery wakes via
+		// the cancel hook (or the explicit Fire below, if the hook ran
+		// before the entry parked) and observes dropCause.
+		p.qctx.Cancel(cause)
+		p.ev.Fire()
+	}
+}
+
+// unpendLocked removes p from the arrival-order mirror. Caller holds s.mu.
+func (s *Scheduler) unpendLocked(p *Pending) {
+	for i, q := range s.pending {
+		if q == p {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// recordDropLocked records a queue drop: the entry left the queue dead at
+// time now, so Admit == Finish == now and Latency() is its queue
+// residence time. Caller holds s.mu.
+func (s *Scheduler) recordDropLocked(stream, seq, tenant int, arrive sim.Time, cause rt.CancelCause) {
+	now := s.r.Now()
+	s.dropped = append(s.dropped, QueryStat{
+		Stream: stream, Seq: seq, Tenant: tenant,
+		Arrive: arrive, Admit: now, Finish: now, Cause: cause,
+	})
 }
 
 // Done releases the query's MPL slot, recording its completion. The slot
-// is handed to the admission policy's next pick, if any query waits.
+// is handed to the admission policy's next live pick, if any query
+// waits. A second Done — or a Done racing Cancel — is a no-op: the first
+// terminal transition wins.
 func (t *Ticket) Done() {
-	if t.done {
-		panic("sched: Ticket.Done called twice")
+	if !t.state.CompareAndSwap(ticketActive, ticketDone) {
+		return
 	}
-	t.done = true
 	s := t.s
 	s.mu.Lock()
 	s.completed = append(s.completed, QueryStat{
 		Stream: t.stream, Seq: t.seq, Tenant: t.tenant,
 		Arrive: t.arrive, Admit: t.admit, Finish: s.r.Now(),
 	})
-	if next := s.policy.Next(); next != nil {
+	s.releaseSlotLocked()
+}
+
+// Cancel resolves the ticket as killed mid-execution with the given
+// cause (rt.CauseNone maps to rt.CauseClientCancel) and releases its MPL
+// slot. It also cancels the query's lifecycle context, so a caller may
+// use Cancel itself as the kill switch rather than cancelling the
+// context first. No-op if Done or Cancel already resolved the ticket.
+func (t *Ticket) Cancel(cause rt.CancelCause) {
+	if cause == rt.CauseNone {
+		cause = rt.CauseClientCancel
+	}
+	if !t.state.CompareAndSwap(ticketActive, ticketCancelled) {
+		return
+	}
+	t.qctx.Cancel(cause) // no-op if the context is already dead
+	s := t.s
+	s.mu.Lock()
+	s.killed = append(s.killed, QueryStat{
+		Stream: t.stream, Seq: t.seq, Tenant: t.tenant,
+		Arrive: t.arrive, Admit: t.admit, Finish: s.r.Now(),
+		Cause: cause,
+	})
+	s.releaseSlotLocked()
+}
+
+// releaseSlotLocked hands the caller's freed MPL slot to the next live
+// queued entry. Dead picks (cancelled while queued, or past their
+// deadline) are dropped on the spot — recorded, woken to observe the
+// drop — and the loop moves on, so a burst of expired entries cannot
+// absorb slots meant for live queries. Caller holds s.mu; the method
+// unlocks it.
+func (s *Scheduler) releaseSlotLocked() {
+	now := s.r.Now()
+	for {
+		next := s.policy.Next()
+		if next == nil {
+			s.running--
+			s.mu.Unlock()
+			return
+		}
+		s.unpendLocked(next)
+		if cause := pendingDeadCause(next, now); cause != rt.CauseNone {
+			next.dropCause = cause
+			s.recordDropLocked(next.Stream, next.Seq, next.Tenant, next.arrive, cause)
+			next.qctx.Cancel(cause)
+			next.ev.Fire()
+			continue
+		}
+		next.granted = true
 		s.mu.Unlock()
 		next.ev.Fire()
 		return // slot transferred, running count unchanged
 	}
-	s.running--
-	s.mu.Unlock()
 }
 
 // Running reports the number of currently executing queries.
@@ -240,6 +436,24 @@ func (s *Scheduler) Completed() []QueryStat {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.completed
+}
+
+// Dropped returns the queue-drop records (queries that died waiting, in
+// drop order): Cause says why, Latency() how long they held a queue
+// slot. Same sharing caveat as Completed.
+func (s *Scheduler) Dropped() []QueryStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Killed returns the mid-execution kill records (admitted queries
+// resolved by Ticket.Cancel), in kill order. Same sharing caveat as
+// Completed.
+func (s *Scheduler) Killed() []QueryStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.killed
 }
 
 // LatencyDist summarizes a latency distribution with nearest-rank
@@ -313,6 +527,16 @@ type Stats struct {
 	// is completed queries per virtual second over the makespan.
 	Makespan   sim.Time
 	Throughput float64
+	// TimedOut counts queries killed by their deadline: queue drops with
+	// rt.CauseAdmissionTimeout plus mid-execution expiries with
+	// rt.CauseDeadlineExceeded. Cancelled counts client cancels, queued
+	// or running. Completed + Rejected + TimedOut + Cancelled covers
+	// every resolved arrival.
+	TimedOut, Cancelled int64
+	// QueueDrop summarizes the queue residence time (arrival to drop) of
+	// entries dropped while waiting. It is reported separately so dead
+	// entries do not pollute the completed-query latency percentiles.
+	QueueDrop LatencyDist
 }
 
 // Stats summarizes the run as of time now.
@@ -348,7 +572,26 @@ func (s *Scheduler) Stats(now sim.Time) Stats {
 	if sec := now.Seconds(); sec > 0 {
 		st.Throughput = float64(n) / sec
 	}
+	qd := make([]sim.Duration, len(s.dropped))
+	for i, q := range s.dropped {
+		qd[i] = q.Latency()
+		countCause(&st, q.Cause)
+	}
+	for _, q := range s.killed {
+		countCause(&st, q.Cause)
+	}
+	st.QueueDrop = distOf(qd)
 	return st
+}
+
+// countCause buckets one dead query into the TimedOut/Cancelled totals.
+func countCause(st *Stats, c rt.CancelCause) {
+	switch c {
+	case rt.CauseClientCancel:
+		st.Cancelled++
+	case rt.CauseDeadlineExceeded, rt.CauseAdmissionTimeout:
+		st.TimedOut++
+	}
 }
 
 // ExpInterarrival draws one exponentially distributed inter-arrival gap

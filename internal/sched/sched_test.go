@@ -256,20 +256,48 @@ func TestSchedulerDeterministic(t *testing.T) {
 	}
 }
 
-func TestTicketDoneTwicePanics(t *testing.T) {
+func TestTicketTerminalTransitionOnce(t *testing.T) {
 	eng := sim.NewEngine()
 	sch := New(rt.Sim(eng), Config{MPL: 1})
 	eng.Go("q", func() {
 		tk, _ := sch.Admit(0, 0)
 		tk.Done()
-		defer func() {
-			if recover() == nil {
-				t.Error("second Done did not panic")
-			}
-		}()
-		tk.Done()
+		tk.Done() // second resolution is a no-op, not a panic
+		tk.Cancel(rt.CauseClientCancel)
 	})
 	eng.Run()
+	if got := len(sch.Completed()); got != 1 {
+		t.Fatalf("completed %d queries, want 1", got)
+	}
+	if got := len(sch.Killed()); got != 0 {
+		t.Fatalf("recorded %d kills after Done won the transition, want 0", got)
+	}
+	if sch.Running() != 0 {
+		t.Fatalf("running %d after resolution, want 0 (slot released twice?)", sch.Running())
+	}
+}
+
+func TestTicketCancelBeatsDone(t *testing.T) {
+	eng := sim.NewEngine()
+	sch := New(rt.Sim(eng), Config{MPL: 1})
+	eng.Go("q", func() {
+		tk, _ := sch.Admit(0, 0)
+		tk.Cancel(rt.CauseNone) // maps to client-cancel
+		tk.Done()               // loses the transition: no-op
+	})
+	eng.Run()
+	if got := len(sch.Killed()); got != 1 {
+		t.Fatalf("recorded %d kills, want 1", got)
+	}
+	if got := sch.Killed()[0].Cause; got != rt.CauseClientCancel {
+		t.Fatalf("kill cause = %v, want client-cancel", got)
+	}
+	if got := len(sch.Completed()); got != 0 {
+		t.Fatalf("completed %d queries after Cancel won, want 0", got)
+	}
+	if sch.Running() != 0 {
+		t.Fatalf("running %d after resolution, want 0", sch.Running())
+	}
 }
 
 func TestExpInterarrival(t *testing.T) {

@@ -40,7 +40,10 @@ func goldenFingerprint() string {
 		cfg := tinyServeConfig()
 		cfg.Policy = pol
 		res := RunServe(tinyDB, cfg)
-		fmt.Fprintf(&b, "serve/%s sched=%+v\n", pol.String(), res.Sched)
+		// schedStr renders the historical Stats fields byte-identically to
+		// the %+v this file was recorded with, so the golden stays valid
+		// as Stats grows lifecycle fields.
+		fmt.Fprintf(&b, "serve/%s sched=%s\n", pol.String(), schedStr(res.Sched))
 		fmt.Fprintf(&b, "serve/%s io=%d pool=%+v abm=%+v\n",
 			pol.String(), res.TotalIOBytes, res.PoolStats, res.ABMStats)
 	}

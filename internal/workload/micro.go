@@ -76,6 +76,13 @@ func RunMicro(db *tpch.DB, cfg Config) *Result {
 // scan+select+partial-aggregation subtree, and a final aggregation merges
 // them — the Figure 8 plan transformation.
 func (e *env) microPlan(db *tpch.DB, build tpch.ScanBuilder, r exec.RIDRange, useQ1 bool) exec.Op {
+	return e.microPlanCtx(e.ctx, db, build, r, useQ1)
+}
+
+// microPlanCtx is microPlan with an explicit execution context, so the
+// serving path can bind the whole plan — XChg fan-out included — to one
+// query's lifecycle.
+func (e *env) microPlanCtx(ctx *exec.Ctx, db *tpch.DB, build tpch.ScanBuilder, r exec.RIDRange, useQ1 bool) exec.Op {
 	threads := e.cfg.ThreadsPerQuery
 	if threads <= 1 {
 		if useQ1 {
@@ -93,7 +100,7 @@ func (e *env) microPlan(db *tpch.DB, build tpch.ScanBuilder, r exec.RIDRange, us
 			return tpch.Q6([]exec.RIDRange{pr})(db, build)
 		})
 	}
-	merged := e.parallel(parts)
+	merged := e.parallelCtx(ctx, parts)
 	if useQ1 {
 		// Partial Q1 aggregates share the group-by schema: re-aggregate.
 		return &exec.HashAggr{

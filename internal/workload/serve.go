@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/exec"
+	"repro/internal/rt"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/tpch"
@@ -61,6 +62,18 @@ type ServeConfig struct {
 	// admission policy. Missing or empty entries fall back to
 	// Config.Selectivities.
 	TenantSelectivities [][]float64
+	// Deadline, when positive, arms every query with an end-to-end
+	// deadline relative to its arrival: queries still queued past it are
+	// dropped with a TimedOut outcome (they never occupy an MPL slot),
+	// and executing queries are killed at their next lifecycle check.
+	// Zero keeps the historical deadline-free behavior bit-identical.
+	Deadline sim.Duration
+	// CancelRate is the fraction of queries whose client abandons them
+	// mid-flight: each such query draws a cancel delay uniform in [0,
+	// SLO) from its stream's rng and is cancelled that long after it was
+	// issued, whether it is still queued or already executing. Zero (the
+	// default) draws nothing and changes nothing.
+	CancelRate float64
 }
 
 // DefaultTenants is the default number of fairness domains streams are
@@ -178,35 +191,71 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 				useQ1 := rng.Intn(2) == 0
 				pred := e.pickPredicate(rng, mix)
 				q := q
+				// Lifecycle draws come last and only when the feature is
+				// on, so a run with Deadline == 0 and CancelRate == 0
+				// consumes exactly the historical rng sequence.
+				doCancel := false
+				var cancelAfter sim.Duration
+				if cfg.CancelRate > 0 {
+					doCancel = rng.Float64() < cfg.CancelRate
+					if doCancel {
+						cancelAfter = sim.Duration(rng.Float64() * float64(cfg.SLO))
+					}
+				}
+				var qc *exec.QueryCtx
+				if cfg.Deadline > 0 || doCancel {
+					qc = exec.NewQueryCtx(e.rt)
+					if cfg.Deadline > 0 {
+						qc.SetDeadline(e.rt.Now() + sim.Time(cfg.Deadline))
+					}
+					if doCancel {
+						qc := qc
+						wg.Add(1)
+						e.rt.Go("canceller", func() {
+							defer wg.Done()
+							e.rt.Sleep(cancelAfter)
+							qc.Cancel(rt.CauseClientCancel)
+						})
+					}
+				}
 				// The expected-work estimate is priced at arrival from the
 				// scan's tuple count and the cost model's current speed
 				// view — the signal sesf orders the admission queue by.
 				// Predicate scans are priced skip-aware: only the tuples
 				// the zone map says survive pruning count as work.
-				req := sched.Query{Stream: s, Seq: q, Tenant: tenant}
+				req := sched.Query{Stream: s, Seq: q, Tenant: tenant, Ctx: qc}
 				if cost != nil {
 					req.Cost = cost.EstimateScanTime(e.survivingTuples(r, pred)).Seconds()
+				}
+				runOne := func() {
+					tk, ok := sch.AdmitQuery(req)
+					if !ok {
+						return // rejected, timed out, or cancelled while queued
+					}
+					var plan exec.Op
+					if qc != nil {
+						ctx := e.ctx.WithQuery(qc)
+						plan = e.microPlanCtx(ctx, db, e.wrapPred(db, e.builderCtx(db, ctx), pred), r, useQ1)
+					} else {
+						plan = e.microPlan(db, e.wrapPred(db, build, pred), r, useQ1)
+					}
+					exec.Drain(plan)
+					if qc.Cancelled() {
+						tk.Cancel(qc.Cause())
+					} else {
+						tk.Done()
+					}
 				}
 				if cfg.ClosedLoop {
 					// Closed loop: the stream itself runs the query and only
 					// then loops to draw the next think time.
-					tk, ok := sch.AdmitQuery(req)
-					if !ok {
-						continue
-					}
-					exec.Drain(e.microPlan(db, e.wrapPred(db, build, pred), r, useQ1))
-					tk.Done()
+					runOne()
 					continue
 				}
 				wg.Add(1)
 				e.rt.Go("query", func() {
 					defer wg.Done()
-					tk, ok := sch.AdmitQuery(req)
-					if !ok {
-						return // rejected: bounded queue full
-					}
-					exec.Drain(e.microPlan(db, e.wrapPred(db, build, pred), r, useQ1))
-					tk.Done()
+					runOne()
 				})
 			}
 		})

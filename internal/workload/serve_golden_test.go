@@ -22,7 +22,7 @@ func serveFingerprint() string {
 	var b strings.Builder
 	run := func(name string, cfg ServeConfig) {
 		res := RunServe(tinyDB, cfg)
-		fmt.Fprintf(&b, "serve/%s sched=%+v io=%d\n", name, res.Sched, res.TotalIOBytes)
+		fmt.Fprintf(&b, "serve/%s sched=%s io=%d\n", name, schedStr(res.Sched), res.TotalIOBytes)
 	}
 	for _, pol := range []Policy{LRU, PBM, CScan} {
 		cfg := tinyServeConfig()

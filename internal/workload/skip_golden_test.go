@@ -43,7 +43,7 @@ func skipFingerprint() string {
 		cfg.Policy = pol
 		cfg.AdmissionPolicy = "sesf" // admission pricing is the skip-aware site
 		res := RunServe(tinyDB, cfg)
-		fmt.Fprintf(&b, "serve/%s sched=%+v io=%d\n", pol.String(), res.Sched, res.TotalIOBytes)
+		fmt.Fprintf(&b, "serve/%s sched=%s io=%d\n", pol.String(), schedStr(res.Sched), res.TotalIOBytes)
 	}
 	return b.String()
 }

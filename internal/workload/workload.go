@@ -311,6 +311,13 @@ func (e *env) costModel() exec.ScanCostModel {
 // builder returns the ScanBuilder matching the policy: Scan through the
 // pool, or CScan through the ABM.
 func (e *env) builder(db *tpch.DB) tpch.ScanBuilder {
+	return e.builderCtx(db, e.ctx)
+}
+
+// builderCtx is builder with an explicit execution context — the serving
+// path passes a per-query WithQuery copy so every operator of the plan
+// shares that query's lifecycle.
+func (e *env) builderCtx(db *tpch.DB, ctx *exec.Ctx) tpch.ScanBuilder {
 	return func(table string, cols []string, ranges []exec.RIDRange, inOrder bool) exec.Op {
 		snap := db.Snapshot(table)
 		idx := make([]int, len(cols))
@@ -321,18 +328,22 @@ func (e *env) builder(db *tpch.DB) tpch.ScanBuilder {
 			ranges = []exec.RIDRange{{Lo: 0, Hi: snap.NumTuples()}}
 		}
 		if e.abm != nil {
-			return &exec.CScan{Ctx: e.ctx, Snap: snap, Cols: idx, Ranges: ranges, InOrder: inOrder}
+			return &exec.CScan{Ctx: ctx, Snap: snap, Cols: idx, Ranges: ranges, InOrder: inOrder}
 		}
-		return &exec.Scan{Ctx: e.ctx, Snap: snap, Cols: idx, Ranges: ranges}
+		return &exec.Scan{Ctx: ctx, Snap: snap, Cols: idx, Ranges: ranges}
 	}
 }
 
 // parallelScanPlan wraps a per-partition plan factory in an XChg per §2.2.
 func (e *env) parallel(parts []func() exec.Op) exec.Op {
+	return e.parallelCtx(e.ctx, parts)
+}
+
+func (e *env) parallelCtx(ctx *exec.Ctx, parts []func() exec.Op) exec.Op {
 	if len(parts) == 1 {
 		return parts[0]()
 	}
-	return &exec.XChg{Ctx: e.ctx, Parts: parts}
+	return &exec.XChg{Ctx: ctx, Parts: parts}
 }
 
 // finish collects run metrics. streamEnds holds each stream's completion

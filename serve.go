@@ -116,6 +116,16 @@ type ServeOptions struct {
 	QueueDepth int
 	// SLO is the latency objective (0 => 250 ms).
 	SLO time.Duration
+	// Deadline, when positive, arms every query with an end-to-end
+	// deadline relative to its arrival: queued queries past it are
+	// dropped with a TimedOut outcome, executing ones are killed at
+	// their next lifecycle check. Zero keeps every cell bit-identical to
+	// the deadline-free sweep.
+	Deadline time.Duration
+	// CancelRate is the fraction of queries whose client abandons them
+	// mid-flight (0..1); each such query is cancelled a uniform [0, SLO)
+	// delay after it was issued. Zero draws nothing.
+	CancelRate float64
 	// Real runs every cell on the real-threaded runtime (goroutines and
 	// wall-clock time) instead of the deterministic simulator. Latencies
 	// are then real milliseconds and runs are not reproducible.
@@ -197,14 +207,22 @@ func (o ServeOptions) fill() ServeOptions {
 // policy, shards, admission policy) configuration and its
 // throughput/latency report, overall and per tenant.
 type ServeRow struct {
-	Rate       float64 // per-stream arrival rate (queries/s)
-	MPL        int
-	Policy     string // buffer-management policy
-	Shards     int    // buffer-pool shard count (0 for CScan rows: no pool)
-	Devices    int    // disk-array spindle count
-	Admission  string // admission policy (fifo/sesf/wfq)
-	Completed  int64
-	Rejected   int64
+	Rate      float64 // per-stream arrival rate (queries/s)
+	MPL       int
+	Policy    string // buffer-management policy
+	Shards    int    // buffer-pool shard count (0 for CScan rows: no pool)
+	Devices   int    // disk-array spindle count
+	Admission string // admission policy (fifo/sesf/wfq)
+	Completed int64
+	Rejected  int64
+	// TimedOut and Cancelled count the queries resolved by the lifecycle
+	// machinery: deadline kills (queued or executing) and client
+	// cancels. Completed+Rejected+TimedOut+Cancelled covers every
+	// arrival; ToPct and CanPct are their shares of arrivals, 0..100.
+	TimedOut   int64
+	Cancelled  int64
+	ToPct      float64
+	CanPct     float64
 	Throughput float64 // completed queries per virtual second
 	P50ms      float64 // end-to-end latency percentiles (virtual ms)
 	P95ms      float64
@@ -240,6 +258,8 @@ func serveRowOf(res *workload.ServeResult, rate float64, mpl int, pol Policy, sh
 		Admission:   admission,
 		Completed:   res.Sched.Completed,
 		Rejected:    res.Sched.Rejected,
+		TimedOut:    res.Sched.TimedOut,
+		Cancelled:   res.Sched.Cancelled,
 		Throughput:  res.Sched.Throughput,
 		P50ms:       ms(res.Sched.Latency.P50),
 		P95ms:       ms(res.Sched.Latency.P95),
@@ -248,6 +268,10 @@ func serveRowOf(res *workload.ServeResult, rate float64, mpl int, pol Policy, sh
 		SLOPct:      res.Sched.SLOAttainment * 100,
 		IOMB:        mb(res.TotalIOBytes),
 		Selectivity: sel,
+	}
+	if res.Sched.Arrived > 0 {
+		row.ToPct = 100 * float64(res.Sched.TimedOut) / float64(res.Sched.Arrived)
+		row.CanPct = 100 * float64(res.Sched.Cancelled) / float64(res.Sched.Arrived)
 	}
 	if res.RequestedTuples > 0 {
 		row.SkipPct = 100 * float64(res.SkippedTuples) / float64(res.RequestedTuples)
@@ -322,6 +346,8 @@ func ServeSweep(o ServeOptions) []ServeRow {
 									// bit-identical to the pre-skipping sweep.
 									cfg.Selectivities = []float64{sel}
 								}
+								cfg.Deadline = o.Deadline
+								cfg.CancelRate = o.CancelRate
 								res := workload.RunServe(db, cfg)
 								out = append(out, serveRowOf(res, rate, mpl, pol, shards, devices, adm, sel))
 							}
