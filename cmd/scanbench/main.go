@@ -35,6 +35,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -66,6 +67,13 @@ func main() {
 		shards   = flag.String("shards", "", "buffer-pool shard counts: a comma-separated axis for -serve (default 1,8); the first value overrides the figure experiments' single pool")
 		devices  = flag.String("devices", "", "disk-array spindle counts: a comma-separated axis for -serve (default 1); the first value overrides the figure experiments' and -compare's single device")
 		stripe   = flag.Int("stripe", 0, "disk-array stripe chunk in blocks (0 = default 16); meaningful with -devices > 1")
+		iosched  = flag.String("iosched", "", "serve: comma-separated device queue disciplines (fifo, elevator; default fifo); elevator services each spindle's queue as a C-SCAN sweep")
+		tiers    = flag.String("tiers", "", "serve: comma-separated array tierings (flat, tiered-rr, tiered-temp; default flat); tiered cells make the first half of the devices an SSD-like fast tier, tiered-temp places the hottest chunks there from a profiling pass")
+		rowra    = flag.Bool("rowra", false, "serve: deepen scan read-ahead to one full stripe row on multi-device arrays (device-aware batch sizing)")
+		ioprio   = flag.Bool("ioprio", false, "serve: thread the admission policy's signal (wfq weight / sesf cost) to the device queue as per-query I/O priority")
+		hotfrac  = flag.Float64("hotfrac", 0, "serve: fraction of the table forming the hot region of a skewed query mix (0 = uniform)")
+		hotprob  = flag.Float64("hotprob", 0, "serve: probability a query's range is drawn from the hot region (0 = uniform)")
+		jsonOut  = flag.String("json", "", "serve: also write the sweep rows as JSON to this file (machine-readable benchmark output)")
 		policies = flag.String("policies", "", "serve: comma-separated admission policies (fifo, sesf, wfq; default fifo); -compare uses the first")
 		tenants  = flag.Int("tenants", 0, "serve/compare: number of tenants streams are mapped onto (default 4)")
 		weights  = flag.String("weights", "", "serve/compare: comma-separated per-tenant wfq weights, index = tenant id (default all 1)")
@@ -106,6 +114,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "scanbench: -stripe: bad value %d: must be positive (0 = default)\n", *stripe)
 		os.Exit(2)
 	}
+	ioschedAxis := parseNameAxis("iosched", *iosched, "fifo", "elevator")
+	tierAxis := parseNameAxis("tiers", *tiers, "flat", "tiered-rr", "tiered-temp")
+	if *hotfrac < 0 || *hotfrac > 1 {
+		fmt.Fprintf(os.Stderr, "scanbench: -hotfrac: bad value %g: must be in [0,1]\n", *hotfrac)
+		os.Exit(2)
+	}
+	if *hotprob < 0 || *hotprob > 1 {
+		fmt.Fprintf(os.Stderr, "scanbench: -hotprob: bad value %g: must be in [0,1]\n", *hotprob)
+		os.Exit(2)
+	}
 	opts := scanshare.Options{
 		SF: *sf, Seed: *seed, Streams: *streams, QueriesPerStream: *queries,
 		ThreadsPerQuery: *threads, Cores: *cores, PerTupleCPU: *cpu,
@@ -134,6 +152,10 @@ func main() {
 		}
 		if *deadline != 0 || *cancel != 0 {
 			fmt.Fprintln(os.Stderr, "scanbench: -deadline/-cancel apply only to -serve")
+			os.Exit(2)
+		}
+		if len(ioschedAxis) > 0 || len(tierAxis) > 0 || *rowra || *ioprio || *hotfrac != 0 || *hotprob != 0 || *jsonOut != "" {
+			fmt.Fprintln(os.Stderr, "scanbench: -iosched/-tiers/-rowra/-ioprio/-hotfrac/-hotprob/-json apply only to -serve")
 			os.Exit(2)
 		}
 		co := scanshare.DefaultCompareOptions()
@@ -173,6 +195,12 @@ func main() {
 			Shards:            shardAxis,
 			Devices:           deviceAxis,
 			StripeChunk:       *stripe,
+			IOSchedulers:      ioschedAxis,
+			Tiers:             tierAxis,
+			StripeRowRA:       *rowra,
+			IOPriority:        *ioprio,
+			HotFrac:           *hotfrac,
+			HotProb:           *hotprob,
 			AdmissionPolicies: policyAxis,
 			Tenants:           *tenants,
 			TenantWeights:     weightAxis,
@@ -188,7 +216,11 @@ func main() {
 		so.Options.PoolShards = 0
 		so.Options.Devices = 0
 		start := time.Now()
-		printServe(scanshare.ServeSweep(so), *real, *tsv)
+		rows := scanshare.ServeSweep(so)
+		printServe(rows, *real, *tsv)
+		if *jsonOut != "" {
+			writeServeJSON(*jsonOut, rows)
+		}
 		fmt.Printf("# serve done in %v\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
@@ -206,6 +238,10 @@ func main() {
 	}
 	if *deadline != 0 || *cancel != 0 {
 		fmt.Fprintln(os.Stderr, "scanbench: -deadline/-cancel apply only to -serve")
+		os.Exit(2)
+	}
+	if len(ioschedAxis) > 0 || len(tierAxis) > 0 || *rowra || *ioprio || *hotfrac != 0 || *hotprob != 0 || *jsonOut != "" {
+		fmt.Fprintln(os.Stderr, "scanbench: -iosched/-tiers/-rowra/-ioprio/-hotfrac/-hotprob/-json apply only to -serve")
 		os.Exit(2)
 	}
 	if flag.NArg() < 1 {
@@ -359,7 +395,8 @@ func printAblation(rows []scanshare.AblationRow, tsv bool) {
 }
 
 // printServe renders the serving sweep: one row per (rate, MPL, policy,
-// pool shards, devices, admission policy, selectivity) cell with
+// pool shards, devices, I/O scheduler, tiering, admission policy,
+// selectivity) cell with
 // throughput, latency percentiles, the lifecycle outcome shares (to% =
 // deadline kills, can% = client cancels, as fractions of arrivals), SLO
 // attainment, the per-tenant p95/SLO breakdown, the zone-map skip rate,
@@ -376,24 +413,39 @@ func printServe(rows []scanshare.ServeRow, real, tsv bool) {
 		return strconv.Itoa(r.Shards)
 	}
 	if tsv {
-		fmt.Printf("rate_qps\tmpl\tpolicy\tadmission\tpool_shards\tdevices\tselectivity\tcompleted\trejected\ttimedout_pct\tcancelled_pct\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\ttenant_p95_ms\ttenant_slo_pct\tskip_pct\tio_mb\tread_mbps\n")
+		fmt.Printf("rate_qps\tmpl\tpolicy\tadmission\tpool_shards\tdevices\tiosched\ttier\tselectivity\tcompleted\trejected\ttimedout_pct\tcancelled_pct\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\ttenant_p95_ms\ttenant_slo_pct\tskip_pct\tio_mb\tread_mbps\tseeks\tskew\n")
 		for _, r := range rows {
-			fmt.Printf("%g\t%d\t%s\t%s\t%s\t%d\t%g\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%s\t%s\t%.1f\t%.1f\t%.1f\n",
-				r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.Selectivity, r.Completed, r.Rejected, r.ToPct, r.CanPct, r.Throughput,
+			fmt.Printf("%g\t%d\t%s\t%s\t%s\t%d\t%s\t%s\t%g\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%s\t%s\t%.1f\t%.1f\t%.1f\t%d\t%.2f\n",
+				r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.IOSched, r.Tier, r.Selectivity, r.Completed, r.Rejected, r.ToPct, r.CanPct, r.Throughput,
 				r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct,
-				joinFloats(r.TenantP95ms, "%.3f"), joinFloats(r.TenantSLOPct, "%.1f"), r.SkipPct, r.IOMB, r.ReadMBps)
+				joinFloats(r.TenantP95ms, "%.3f"), joinFloats(r.TenantSLOPct, "%.1f"), r.SkipPct, r.IOMB, r.ReadMBps, r.Seeks, r.Skew)
 		}
 		return
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "rate/stream\tMPL\tpolicy\tadmit\tshards\tdevs\tsel\tdone\trej\tto%\tcan%\tthru (q/s)\tp50\tp95\tp99\tqwait p95\tSLO %\tp95/tenant\tSLO %/tenant\tskip%\tI/O MB\trd MB/s")
+	fmt.Fprintln(w, "rate/stream\tMPL\tpolicy\tadmit\tshards\tdevs\tiosched\ttier\tsel\tdone\trej\tto%\tcan%\tthru (q/s)\tp50\tp95\tp99\tqwait p95\tSLO %\tp95/tenant\tSLO %/tenant\tskip%\tI/O MB\trd MB/s\tseeks\tskew")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%s\t%d\t%g\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%s\t%s\t%.1f\t%.1f\t%.1f\n",
-			r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.Selectivity, r.Completed, r.Rejected, r.ToPct, r.CanPct, r.Throughput,
+		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%s\t%d\t%s\t%s\t%g\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%s\t%s\t%.1f\t%.1f\t%.1f\t%d\t%.2f\n",
+			r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.IOSched, r.Tier, r.Selectivity, r.Completed, r.Rejected, r.ToPct, r.CanPct, r.Throughput,
 			r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct,
-			joinFloats(r.TenantP95ms, "%.2f"), joinFloats(r.TenantSLOPct, "%.0f"), r.SkipPct, r.IOMB, r.ReadMBps)
+			joinFloats(r.TenantP95ms, "%.2f"), joinFloats(r.TenantSLOPct, "%.0f"), r.SkipPct, r.IOMB, r.ReadMBps, r.Seeks, r.Skew)
 	}
 	w.Flush()
+}
+
+// writeServeJSON writes the sweep rows to path as a JSON array, the
+// machine-readable counterpart of the -tsv table (field names are the
+// ServeRow Go names). CI archives it as a benchmark artifact.
+func writeServeJSON(path string, rows []scanshare.ServeRow) {
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scanbench: -json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# wrote %d rows to %s\n", len(rows), path)
 }
 
 // joinFloats renders one compact comma-joined cell (index = tenant id)
@@ -480,6 +532,32 @@ func parseAxis[T int | float64](name, s string, parse func(string) (T, error)) [
 // parseFloat64 adapts strconv.ParseFloat to parseAxis's single-argument
 // shape.
 func parseFloat64(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+// parseNameAxis parses the comma-separated value of the enumerated axis
+// flag -name, validating every element against the valid set so a typo
+// fails with the menu instead of panicking mid-sweep. Empty input yields
+// nil (the sweep's default). -iosched and -tiers go through here,
+// matching parseAxis's error style.
+func parseNameAxis(name, s string, valid ...string) []string {
+	if s == "" {
+		return nil
+	}
+	known := map[string]bool{}
+	for _, v := range valid {
+		known[v] = true
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		v := strings.TrimSpace(f)
+		if !known[v] {
+			fmt.Fprintf(os.Stderr, "scanbench: -%s: bad element %q (valid: %s)\n",
+				name, v, strings.Join(valid, ", "))
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
 
 // parseAdmissionPolicies parses the -policies axis, validating every
 // name against the registered admission policies so a typo fails with

@@ -45,6 +45,11 @@ type Config struct {
 	// SharedBonus is added to load/keep relevance of snapshot-shared
 	// chunks.
 	SharedBonus float64
+	// CollectBlockHeat enables the per-block access-temperature map fed
+	// by scan registrations (see BlockHeat). Off by default: the counting
+	// walks every registered page range, a cost the historical paths do
+	// not pay.
+	CollectBlockHeat bool
 }
 
 // DefaultChunkTuples is the default chunk granularity.
@@ -122,9 +127,10 @@ type ABM struct {
 	resident map[storage.PageID]*residentPage
 	used     int64
 
-	work    rt.Event
-	stopped bool
-	stats   Stats
+	work      rt.Event
+	stopped   bool
+	stats     Stats
+	blockHeat map[iosim.BlockID]float64 // non-nil iff cfg.CollectBlockHeat
 	// pinnedDeliveries counts outstanding (un-Released) deliveries; used
 	// by the scheduler's liveness safeguard.
 	pinnedDeliveries int
@@ -151,6 +157,9 @@ func New(r rt.Runtime, disk *iosim.DeviceArray, cfg Config) *ABM {
 		tables:   make(map[tableKey]*tableMeta),
 		resident: make(map[storage.PageID]*residentPage),
 	}
+	if cfg.CollectBlockHeat {
+		a.blockHeat = make(map[iosim.BlockID]float64)
+	}
 	a.work = r.NewEvent()
 	r.Go("abm-scheduler", a.run)
 	return a
@@ -161,6 +170,23 @@ func (a *ABM) Stats() Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.stats
+}
+
+// BlockHeat returns a copy of the per-block access-temperature map —
+// how many (scan, column) registrations covered each physical block —
+// or nil when Config.CollectBlockHeat is off. Temperature-based chunk
+// placement (iosim.TemperaturePlacement) aggregates it per stripe chunk.
+func (a *ABM) BlockHeat() map[iosim.BlockID]float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.blockHeat == nil {
+		return nil
+	}
+	out := make(map[iosim.BlockID]float64, len(a.blockHeat))
+	for b, h := range a.blockHeat {
+		out[b] = h
+	}
+	return out
 }
 
 // Used returns the resident byte volume.
@@ -245,6 +271,13 @@ func (a *ABM) RegisterCScan(snap *storage.Snapshot, cols []int, ranges []SIDRang
 			}
 			if i < cs.nextIdx {
 				cs.nextIdx = i
+			}
+		}
+		if a.blockHeat != nil {
+			for _, col := range cs.sorted {
+				for _, pg := range snap.PagesInRange(col, r.Lo, r.Hi) {
+					a.blockHeat[pg.Block]++
+				}
 			}
 		}
 	}
@@ -534,12 +567,16 @@ func (a *ABM) waitWork() {
 }
 
 // chooseQuery implements QueryRelevance: prefer starved queries, then
-// shorter ones (fewest chunks remaining). Scans whose owning query is
-// cancelled are never chosen: between the cancel and the consumer's
-// Unregister the ABM must not burn I/O loading chunks for a dead query.
+// higher I/O priority (the admission policy's hint on the owning
+// QueryCtx — zero for every scan unless the serving layer sets it, in
+// which case this clause never discriminates), then shorter ones (fewest
+// chunks remaining). Scans whose owning query is cancelled are never
+// chosen: between the cancel and the consumer's Unregister the ABM must
+// not burn I/O loading chunks for a dead query.
 func (a *ABM) chooseQuery() *CScan {
 	var best *CScan
 	bestStarved := false
+	bestPrio := 0.0
 	bestRemaining := 0
 	for _, tm := range a.tabOrder {
 		for _, cs := range tm.scans {
@@ -550,10 +587,12 @@ func (a *ABM) chooseQuery() *CScan {
 				continue
 			}
 			starved := a.isStarved(cs)
+			prio := cs.qctx.Priority()
 			if best == nil ||
 				(starved && !bestStarved) ||
-				(starved == bestStarved && cs.remaining < bestRemaining) {
-				best, bestStarved, bestRemaining = cs, starved, cs.remaining
+				(starved == bestStarved && prio > bestPrio) ||
+				(starved == bestStarved && prio == bestPrio && cs.remaining < bestRemaining) {
+				best, bestStarved, bestPrio, bestRemaining = cs, starved, prio, cs.remaining
 			}
 		}
 	}

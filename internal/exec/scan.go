@@ -286,6 +286,13 @@ func (r *colReader) read(lo, hi, sidEnd int64, out *Vec) error {
 			if ra <= 0 {
 				ra = int64(pg.Tuples)
 			}
+			// Device-aware sizing: a striped array wants the batch to cover
+			// a full stripe row so every spindle gets a piece.
+			if n := r.scan.Ctx.StripeRowBlocks; n > 0 {
+				if minRA := int64(n) * int64(pg.Tuples); ra < minRA {
+					ra = minRA
+				}
+			}
 			raHi := pg.FirstSID + ra
 			if raHi > sidEnd {
 				raHi = sidEnd

@@ -1,6 +1,11 @@
 package iosim
 
-import "repro/internal/rt"
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rt"
+)
 
 // DefaultStripeChunk is the striping granularity in blocks (pages) when a
 // multi-device array is configured without an explicit chunk: 16 blocks of
@@ -13,7 +18,8 @@ const DefaultStripeChunk = 16
 type ArrayConfig struct {
 	// Config is the per-device model: each spindle keeps the full
 	// bandwidth and seek-penalty model, so aggregate sequential bandwidth
-	// scales with Devices.
+	// scales with Devices. Config.Scheduler applies array-wide — every
+	// spindle runs the same queue discipline.
 	Config
 	// Devices is the number of independent spindles (<= 0 means 1; a
 	// 1-device array is bit-identical to a bare Disk).
@@ -22,6 +28,21 @@ type ArrayConfig struct {
 	// DefaultStripeChunk). Block b lives on device (b/StripeChunk) mod
 	// Devices.
 	StripeChunk int
+	// DeviceConfigs optionally overrides the device model per spindle
+	// (index = device), making the array heterogeneous — e.g. an SSD-like
+	// fast tier with zero SeekLatency and a multiple of the base
+	// bandwidth. An entry with Bandwidth > 0 replaces the base Config for
+	// that device verbatim (its Scheduler field is ignored; the array
+	// -wide discipline applies); other entries, and devices beyond the
+	// slice, keep the base Config.
+	DeviceConfigs []Config
+	// ChunkPlacement optionally overrides the round-robin striping: entry
+	// c is the device owning stripe chunk c (blocks [c*StripeChunk,
+	// (c+1)*StripeChunk)). Chunks beyond the slice fall back to round
+	// -robin. Temperature-based tiering builds this map from observed
+	// access heat (see TemperaturePlacement) so hot chunks land on the
+	// fast devices.
+	ChunkPlacement []int
 }
 
 // Span is one block-contiguous read request: a run of consecutive logical
@@ -43,6 +64,12 @@ type DeviceArray struct {
 	r       rt.Runtime
 	devices []*Disk
 	chunk   int64
+	hetero  bool // any DeviceConfigs override applied
+
+	// Placement state (nil placement = pure round-robin striping).
+	placement []int
+	localSlot []int64 // per placed chunk: its slot on its owning device
+	placedOn  []int64 // per device: number of placed chunks it owns
 }
 
 // New creates a single-device array — the historical one-disk model, used
@@ -51,8 +78,12 @@ func New(r rt.Runtime, cfg Config) *DeviceArray {
 	return NewArray(r, ArrayConfig{Config: cfg, Devices: 1})
 }
 
-// NewArray creates a striped array of identical devices.
+// NewArray creates a striped array of devices; identical spindles unless
+// DeviceConfigs overrides some of them.
 func NewArray(r rt.Runtime, cfg ArrayConfig) *DeviceArray {
+	if cfg.Devices < 0 {
+		panic(fmt.Sprintf("iosim: negative device count %d", cfg.Devices))
+	}
 	n := cfg.Devices
 	if n <= 0 {
 		n = 1
@@ -63,7 +94,28 @@ func NewArray(r rt.Runtime, cfg ArrayConfig) *DeviceArray {
 	}
 	a := &DeviceArray{r: r, devices: make([]*Disk, n), chunk: int64(chunk)}
 	for i := range a.devices {
-		a.devices[i] = NewDisk(r, cfg.Config)
+		dc := cfg.Config
+		if i < len(cfg.DeviceConfigs) && cfg.DeviceConfigs[i].Bandwidth > 0 {
+			dc = cfg.DeviceConfigs[i]
+			dc.Scheduler = cfg.Config.Scheduler
+			a.hetero = true
+		}
+		a.devices[i] = NewDisk(r, dc)
+	}
+	if len(cfg.ChunkPlacement) > 0 {
+		a.placement = append([]int(nil), cfg.ChunkPlacement...)
+		a.localSlot = make([]int64, len(a.placement))
+		a.placedOn = make([]int64, n)
+		for c, dev := range a.placement {
+			if dev < 0 || dev >= n {
+				panic(fmt.Sprintf("iosim: chunk %d placed on device %d of %d", c, dev, n))
+			}
+			// A chunk's device-local slot is the number of earlier chunks
+			// on the same device, so each spindle's chunks stay dense and
+			// chunk-index-ordered in its local block space.
+			a.localSlot[c] = a.placedOn[dev]
+			a.placedOn[dev]++
+		}
 	}
 	return a
 }
@@ -77,10 +129,18 @@ func (a *DeviceArray) Device(i int) *Disk { return a.devices[i] }
 // StripeChunk reports the striping granularity in blocks.
 func (a *DeviceArray) StripeChunk() int { return int(a.chunk) }
 
-// Bandwidth reports the aggregate sequential bandwidth in bytes/second:
-// per-device bandwidth times the device count.
+// Bandwidth reports the aggregate sequential bandwidth in bytes/second.
+// Homogeneous arrays multiply (the historical, bit-pinned formula);
+// heterogeneous arrays sum the per-device rates.
 func (a *DeviceArray) Bandwidth() float64 {
-	return a.devices[0].Bandwidth() * float64(len(a.devices))
+	if !a.hetero {
+		return a.devices[0].Bandwidth() * float64(len(a.devices))
+	}
+	var sum float64
+	for _, d := range a.devices {
+		sum += d.Bandwidth()
+	}
+	return sum
 }
 
 // DeviceFor returns the index of the spindle that owns logical block b.
@@ -88,18 +148,49 @@ func (a *DeviceArray) DeviceFor(b BlockID) int {
 	if len(a.devices) == 1 {
 		return 0
 	}
-	return int((int64(b) / a.chunk) % int64(len(a.devices)))
+	c := int64(b) / a.chunk
+	if c < int64(len(a.placement)) {
+		return a.placement[c]
+	}
+	return int(c % int64(len(a.devices)))
 }
 
 // localBlock maps a logical block to its device-local address, keeping
 // each spindle's share of a striped run contiguous in local block space.
+// Placed chunks occupy dense chunk-index-ordered slots on their owning
+// device (see NewArray); round-robin chunks beyond the placement map
+// continue after them.
 func (a *DeviceArray) localBlock(b BlockID) BlockID {
 	if len(a.devices) == 1 {
 		return b
 	}
-	stripe := int64(b) / a.chunk
-	row := stripe / int64(len(a.devices))
-	return BlockID(row*a.chunk + int64(b)%a.chunk)
+	c := int64(b) / a.chunk
+	off := int64(b) % a.chunk
+	if len(a.placement) == 0 {
+		row := c / int64(len(a.devices))
+		return BlockID(row*a.chunk + off)
+	}
+	var slot int64
+	if c < int64(len(a.placement)) {
+		slot = a.localSlot[c]
+	} else {
+		n := int64(len(a.devices))
+		dev := c % n
+		slot = a.placedOn[dev] + countCongruent(int64(len(a.placement)), c, dev, n)
+	}
+	return BlockID(slot*a.chunk + off)
+}
+
+// countCongruent counts integers j in [lo, hi) with j mod n == r
+// (0 <= r < n), used to slot round-robin chunks past the placement map.
+func countCongruent(lo, hi, r, n int64) int64 {
+	f := func(x int64) int64 {
+		if x <= r {
+			return 0
+		}
+		return (x - r + n - 1) / n
+	}
+	return f(hi) - f(lo)
 }
 
 // StripeBoundary reports whether logical block b begins a new stripe
@@ -157,14 +248,23 @@ func (a *DeviceArray) ReadSpans(spans []Span) {
 // in service on other spindles complete normally).
 func (a *DeviceArray) ReadSpansOwner(q *rt.QueryCtx, spans []Span) {
 	if len(a.devices) == 1 {
+		if a.devices[0].elevator() {
+			// One pending request per span lets the elevator sweep-order
+			// the whole batch against competing scans' requests.
+			subs := make([]subRead, 0, len(spans))
+			for _, s := range spans {
+				if s.Blocks <= 0 || s.Bytes <= 0 {
+					panic("iosim: bad span")
+				}
+				subs = append(subs, subRead{dev: 0, span: s})
+			}
+			a.readSubsElevator(q, subs)
+			return
+		}
 		for _, s := range spans {
 			a.devices[0].ReadOwner(q, s.Block, s.Blocks, s.Bytes)
 		}
 		return
-	}
-	type subRead struct {
-		dev  int
-		span Span
 	}
 	var subs []subRead
 	for _, s := range spans {
@@ -205,12 +305,46 @@ func (a *DeviceArray) ReadSpansOwner(q *rt.QueryCtx, spans []Span) {
 			remBytes -= by
 		}
 	}
+	if a.devices[0].elevator() {
+		a.readSubsElevator(q, subs)
+		return
+	}
 	// Admit every sub-read (device bookkeeping only, no blocking beyond
 	// FIFO admission), then sleep once until the last completes.
 	var until rt.Time
 	for _, s := range subs {
 		u := a.devices[s.dev].start(q, s.span.Block, s.span.Blocks, s.span.Bytes)
 		if u > until {
+			until = u
+		}
+	}
+	a.r.SleepUntil(until)
+	for _, s := range subs {
+		a.devices[s.dev].depart()
+	}
+}
+
+// subRead is one per-device piece of a spans batch.
+type subRead struct {
+	dev  int
+	span Span
+}
+
+// readSubsElevator runs a sub-read batch on elevator-scheduled devices:
+// every piece enqueues first — so each spindle's dispatcher sees its full
+// share of the batch and other spindles are never idled by a busy one —
+// then the caller awaits every assignment and sleeps once until the last
+// completion. Assignment never waits on departure, so two pieces of one
+// batch on the same device cannot deadlock: the dispatcher assigns the
+// second the moment the first's transfer window ends.
+func (a *DeviceArray) readSubsElevator(q *rt.QueryCtx, subs []subRead) {
+	reqs := make([]*ioReq, len(subs))
+	for i, s := range subs {
+		reqs[i] = a.devices[s.dev].enqueue(q, s.span.Block, s.span.Blocks, s.span.Bytes)
+	}
+	var until rt.Time
+	for i, s := range subs {
+		if u := a.devices[s.dev].await(reqs[i]); u > until {
 			until = u
 		}
 	}
@@ -265,4 +399,53 @@ func (a *DeviceArray) ResetStats() {
 	for _, d := range a.devices {
 		d.ResetStats()
 	}
+}
+
+// TemperaturePlacement builds a ChunkPlacement map from observed per-chunk
+// access heat: the hottest len(fast)/devices fraction of chunks is placed
+// round-robin over the fast devices, the rest round-robin over the slow
+// ones, so a tiered array serves the skewed head of the access
+// distribution from its fast spindles. Ties in heat break toward the lower
+// chunk index (deterministic); with no fast devices the map degenerates to
+// round-robin over all devices.
+func TemperaturePlacement(heat []float64, devices int, fast []int) []int {
+	if devices <= 0 || len(heat) == 0 {
+		return nil
+	}
+	isFast := make([]bool, devices)
+	nFast := 0
+	for _, d := range fast {
+		if d >= 0 && d < devices && !isFast[d] {
+			isFast[d] = true
+			nFast++
+		}
+	}
+	var fastDevs, slowDevs []int
+	for d := 0; d < devices; d++ {
+		if isFast[d] {
+			fastDevs = append(fastDevs, d)
+		} else {
+			slowDevs = append(slowDevs, d)
+		}
+	}
+	if len(slowDevs) == 0 {
+		slowDevs = fastDevs // all-fast array: one tier
+	}
+	order := make([]int, len(heat))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return heat[order[i]] > heat[order[j]]
+	})
+	hot := len(heat) * nFast / devices
+	place := make([]int, len(heat))
+	for rank, c := range order {
+		if rank < hot {
+			place[c] = fastDevs[rank%len(fastDevs)]
+		} else {
+			place[c] = slowDevs[(rank-hot)%len(slowDevs)]
+		}
+	}
+	return place
 }

@@ -80,10 +80,35 @@ type Disk struct {
 
 	stats Stats
 
+	// Elevator state (Scheduler == SchedElevator). Arrival-time
+	// bookkeeping cannot reorder anything — in sim mode start never
+	// blocks, so service order would equal arrival order by construction
+	// — so the elevator defers the dispatch decision to service-start
+	// time: requests enqueue on pending, and a per-device dispatcher
+	// process (spawned on demand, exiting when the queue drains so the
+	// simulation can drain too) sleeps until the device frees, then picks
+	// the C-SCAN-best pending request and publishes its completion time.
+	sched       string
+	pending     []*ioReq
+	dispatching bool
+	assigned    rt.Event // fired on every dispatcher assignment
+
 	// OnRead, if non-nil, observes every read (used by the trace recorder).
 	// It is called with the device mutex held, so observers need no
 	// synchronization of their own against concurrent reads.
 	OnRead func(b BlockID, bytes int64)
+}
+
+// ioReq is one request pending on an elevator-scheduled device.
+type ioReq struct {
+	ticket int64
+	q      *rt.QueryCtx
+	block  BlockID
+	blocks int
+	bytes  int64
+	prio   float64
+	done   bool    // assignment published
+	until  rt.Time // completion time, valid once done
 }
 
 // Config parameterizes a simulated disk.
@@ -94,7 +119,29 @@ type Config struct {
 	// SeekLatency is added to any request that does not continue the
 	// previous request's block run.
 	SeekLatency rt.Duration
+	// Scheduler selects the queue discipline: SchedFIFO (or "") services
+	// requests in strict arrival order and is bit-identical to the
+	// historical device; SchedElevator runs a C-SCAN sweep over the
+	// pending blocks, charging the seek penalty only on direction
+	// -breaking jumps. See the Disk comment for the dispatch model.
+	Scheduler string
 }
+
+// Queue disciplines accepted by Config.Scheduler.
+const (
+	// SchedFIFO services requests strictly in arrival (ticket) order —
+	// the historical model and the golden-pinned default.
+	SchedFIFO = "fifo"
+	// SchedElevator services the pending queue as a C-SCAN sweep: among
+	// the requests waiting when the device frees, pick the lowest block
+	// at or ahead of the head; when nothing is ahead, wrap to the lowest
+	// pending block. Only the wrap (and the initial positioning) pays the
+	// seek penalty — forward jumps within a sweep ride the arm's travel.
+	// Ties at the same block are broken by I/O priority (higher first,
+	// see rt.QueryCtx.SetPriority), then by arrival ticket, preserving
+	// the ticketed-admission fairness of the FIFO path.
+	SchedElevator = "elevator"
+)
 
 // DefaultSeekLatency approximates a short SSD-array reposition; the
 // paper's testbed is an SSD RAID, so seeks are cheap but not free.
@@ -109,10 +156,22 @@ func NewDisk(r rt.Runtime, cfg Config) *Disk {
 	if cfg.SeekLatency < 0 {
 		panic("iosim: negative seek latency")
 	}
-	d := &Disk{r: r, bandwidth: cfg.Bandwidth, seekLatency: cfg.SeekLatency}
+	sched := cfg.Scheduler
+	switch sched {
+	case "", SchedFIFO:
+		sched = ""
+	case SchedElevator:
+	default:
+		panic(fmt.Sprintf("iosim: unknown scheduler %q (want %q or %q)", cfg.Scheduler, SchedFIFO, SchedElevator))
+	}
+	d := &Disk{r: r, bandwidth: cfg.Bandwidth, seekLatency: cfg.SeekLatency, sched: sched}
 	d.admit = sync.NewCond(&d.mu)
+	d.assigned = r.NewEvent()
 	return d
 }
+
+// elevator reports whether the device runs the C-SCAN discipline.
+func (d *Disk) elevator() bool { return d.sched == SchedElevator }
 
 // Bandwidth reports the configured sequential bandwidth in bytes/second.
 func (d *Disk) Bandwidth() float64 { return d.bandwidth }
@@ -132,6 +191,12 @@ func (d *Disk) Read(b BlockID, blocks int, bytes int64) {
 // accounting — instead of being serviced for a consumer that will never
 // look at the result. A nil owner is a plain Read.
 func (d *Disk) ReadOwner(q *rt.QueryCtx, b BlockID, blocks int, bytes int64) {
+	if d.elevator() {
+		req := d.enqueue(q, b, blocks, bytes)
+		d.r.SleepUntil(d.await(req))
+		d.depart()
+		return
+	}
 	until := d.start(q, b, blocks, bytes)
 	d.r.SleepUntil(until)
 	d.depart()
@@ -207,6 +272,142 @@ func (d *Disk) depart() {
 	d.mu.Lock()
 	d.queued--
 	d.mu.Unlock()
+}
+
+// enqueue adds one request to the elevator's pending queue without
+// blocking for service, spawning the dispatcher if none is running. The
+// arrival ticket is still taken — it is the fairness tie-break for
+// same-block requests — and queue-depth accounting matches the FIFO
+// path: the request counts as queued from arrival until depart.
+func (d *Disk) enqueue(q *rt.QueryCtx, b BlockID, blocks int, bytes int64) *ioReq {
+	if bytes <= 0 || blocks <= 0 {
+		panic(fmt.Sprintf("iosim: bad read: %d blocks, %d bytes", blocks, bytes))
+	}
+	req := &ioReq{
+		ticket: d.tickets.Add(1) - 1,
+		q:      q,
+		block:  b,
+		blocks: blocks,
+		bytes:  bytes,
+		prio:   q.Priority(),
+	}
+	d.mu.Lock()
+	d.queued++
+	if d.queued > d.stats.MaxQueueLen {
+		d.stats.MaxQueueLen = d.queued
+	}
+	d.pending = append(d.pending, req)
+	if !d.dispatching {
+		d.dispatching = true
+		d.r.Go("iosim-elevator", d.dispatch)
+	}
+	d.mu.Unlock()
+	return req
+}
+
+// await blocks until the dispatcher has assigned the request a service
+// slot and returns its completion time. The caller then sleeps until
+// that time and departs — the split lets DeviceArray enqueue a batch's
+// sub-reads on several devices before blocking on any of them.
+func (d *Disk) await(req *ioReq) rt.Time {
+	d.mu.Lock()
+	for !req.done {
+		w := d.assigned.Waiter()
+		d.mu.Unlock()
+		w.Wait()
+		d.mu.Lock()
+	}
+	until := req.until
+	d.mu.Unlock()
+	return until
+}
+
+// dispatch is the elevator's per-device dispatcher: it sleeps until the
+// device frees, picks the C-SCAN-best pending request at that instant —
+// late-arriving requests that land ahead of the head join the current
+// sweep — services it (bookkeeping only; the requester sleeps out the
+// transfer itself), and repeats until the pending queue drains, then
+// exits. Exiting matters in sim mode: a perpetual dispatcher would keep
+// the engine alive (or deadlock it) after the workload completes.
+func (d *Disk) dispatch() {
+	d.mu.Lock()
+	for {
+		if len(d.pending) == 0 {
+			d.dispatching = false
+			d.mu.Unlock()
+			return
+		}
+		now := d.r.Now()
+		if d.busyUntil > now {
+			until := d.busyUntil
+			d.mu.Unlock()
+			d.r.SleepUntil(until)
+			d.mu.Lock()
+			continue
+		}
+		i := d.pickNext()
+		req := d.pending[i]
+		d.pending = append(d.pending[:i], d.pending[i+1:]...)
+		if req.q != nil && req.q.Cancelled() {
+			d.stats.Skipped++
+			req.until = now
+			req.done = true
+			d.assigned.Fire()
+			continue
+		}
+		dur := rt.Duration(float64(req.bytes) / d.bandwidth * 1e9)
+		// C-SCAN seek accounting: only the initial positioning and a
+		// direction-breaking wrap (the picked block is behind the head)
+		// pay the penalty; forward jumps ride the sweep.
+		if !d.haveLast || req.block < d.lastBlock+1 {
+			dur += d.seekLatency
+			d.stats.Seeks++
+		}
+		until := now + rt.Time(dur)
+		d.busyUntil = until
+		d.lastBlock = req.block + BlockID(req.blocks) - 1
+		d.haveLast = true
+		d.stats.Requests++
+		d.stats.BytesRead += req.bytes
+		d.stats.BusyTime += dur
+		if d.OnRead != nil {
+			d.OnRead(req.block, req.bytes)
+		}
+		req.until = until
+		req.done = true
+		d.assigned.Fire()
+	}
+}
+
+// pickNext returns the index of the C-SCAN-best pending request: lowest
+// block at or ahead of the head, else (wrap) the lowest pending block;
+// equal blocks order by priority (higher first), then arrival ticket.
+// Caller holds d.mu; pending is non-empty.
+func (d *Disk) pickNext() int {
+	head := BlockID(0)
+	if d.haveLast {
+		head = d.lastBlock + 1
+	}
+	best := 0
+	for i := 1; i < len(d.pending); i++ {
+		r, b := d.pending[i], d.pending[best]
+		rAhead, bAhead := r.block >= head, b.block >= head
+		var better bool
+		switch {
+		case rAhead != bAhead:
+			better = rAhead
+		case r.block != b.block:
+			better = r.block < b.block
+		case r.prio != b.prio:
+			better = r.prio > b.prio
+		default:
+			better = r.ticket < b.ticket
+		}
+		if better {
+			best = i
+		}
+	}
+	return best
 }
 
 // Stats returns a snapshot of the device counters.

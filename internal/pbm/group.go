@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/iosim"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -133,3 +134,7 @@ func (g *Group) EstimateScanTime(tuples int64) sim.Duration {
 // k >= 1; only the k = 0 bucket (pages wanted by no scan) is shard-local
 // and under-counted here, and no caller consumes it.
 func (g *Group) SharingVolumes() [5]int64 { return g.members[0].SharingVolumes() }
+
+// BlockHeat returns the per-block access-temperature map. Registrations
+// are mirrored in every member, so member 0 has the full picture.
+func (g *Group) BlockHeat() map[iosim.BlockID]float64 { return g.members[0].BlockHeat() }

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/iosim"
+	"repro/internal/tpch"
+)
+
+// smallDB is a step up from tinyDB for the device-intelligence tests:
+// tinyDB's columns span too few 16 KB pages for a stripe row to fan out
+// or for block heat to have a visible shape.
+var smallDB = tpch.Generate(0.02, 11)
+
+// TestStripeRowRAAggregateBandwidth pins the device-aware read-ahead
+// win: a single cold stream with a shallow base window reads one block
+// at a time, so a 4-spindle array serves it at roughly one spindle's
+// bandwidth. Deepening to a stripe row (StripeRowRA) makes every load
+// batch span all spindles, so the achieved aggregate bandwidth must
+// clear at least twice a single spindle's.
+func TestStripeRowRAAggregateBandwidth(t *testing.T) {
+	run := func(rowRA bool) *Result {
+		cfg := tinyMicroConfig()
+		cfg.Policy = LRU
+		cfg.Streams = 1
+		cfg.ThreadsPerQuery = 1
+		cfg.QueriesPerStream = 1
+		cfg.RangePercents = []int{100}
+		cfg.BufferFrac = 1.0 // cold pass only: every load is a read batch
+		cfg.BandwidthMB = 2  // slow spindles so I/O dominates the makespan
+		cfg.Devices = 4
+		cfg.StripeChunk = 4
+		cfg.ReadAheadTuples = 1 // shallow base window: one block per batch
+		cfg.StripeRowRA = rowRA
+		return RunMicro(smallDB, cfg)
+	}
+	off, on := run(false), run(true)
+	if off.TotalIOBytes != on.TotalIOBytes {
+		t.Fatalf("cold-pass I/O volume diverged: %d vs %d", off.TotalIOBytes, on.TotalIOBytes)
+	}
+	mbps := func(r *Result) float64 {
+		return float64(r.DiskStats.BytesRead) / 1e6 / r.MaxStreamSec
+	}
+	if mbps(on) <= mbps(off) {
+		t.Fatalf("stripe-row RA bandwidth %.2f MB/s not above base %.2f MB/s", mbps(on), mbps(off))
+	}
+	if want := 2 * 2.0; mbps(on) < want {
+		t.Fatalf("stripe-row RA bandwidth %.2f MB/s below 2x one spindle (%.1f MB/s)", mbps(on), want)
+	}
+}
+
+// The elevator discipline must stay bit-reproducible on the simulator
+// and must actually reduce seeks against FIFO service at an I/O-bound
+// serving point with many interleaved scans.
+func TestServeElevatorDeterministicAndFewerSeeks(t *testing.T) {
+	run := func(sched string) *ServeResult {
+		cfg := ioBoundServeConfig()
+		cfg.Devices = 4
+		cfg.IOScheduler = sched
+		return RunServe(tinyDB, cfg)
+	}
+	a, b := run("elevator"), run("elevator")
+	if a.Sched != b.Sched || a.TotalIOBytes != b.TotalIOBytes || a.ElapsedSec != b.ElapsedSec {
+		t.Fatalf("elevator nondeterministic:\n%+v io=%d t=%v\n%+v io=%d t=%v",
+			a.Sched, a.TotalIOBytes, a.ElapsedSec, b.Sched, b.TotalIOBytes, b.ElapsedSec)
+	}
+	if !reflect.DeepEqual(a.DiskStats, b.DiskStats) {
+		t.Fatalf("elevator nondeterministic disk stats:\n%+v\n%+v", a.DiskStats, b.DiskStats)
+	}
+	fifo := run("fifo")
+	if a.Sched.Completed != fifo.Sched.Completed {
+		t.Fatalf("completions diverged: elevator %d, fifo %d", a.Sched.Completed, fifo.Sched.Completed)
+	}
+	if a.DiskStats.Seeks >= fifo.DiskStats.Seeks {
+		t.Fatalf("elevator seeks %d not below fifo seeks %d", a.DiskStats.Seeks, fifo.DiskStats.Seeks)
+	}
+}
+
+// I/O priority threading is a smoke-plus-determinism check: wfq weights
+// reach the device queue as per-query hints without disturbing the
+// scheduler's accounting, on both the pool path and the ABM path.
+func TestServeIOPriorityDeterministic(t *testing.T) {
+	for _, pol := range []Policy{PBM, CScan} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			run := func() *ServeResult {
+				cfg := ioBoundServeConfig()
+				cfg.Policy = pol
+				cfg.Devices = 4
+				cfg.IOScheduler = "elevator"
+				cfg.AdmissionPolicy = "wfq"
+				cfg.TenantWeights = []float64{4, 1, 1, 1}
+				cfg.IOPriority = true
+				return RunServe(tinyDB, cfg)
+			}
+			a, b := run(), run()
+			if a.Sched.Completed+a.Sched.Rejected+a.Sched.TimedOut != a.Sched.Arrived {
+				t.Fatalf("accounting leak: %+v", a.Sched)
+			}
+			if a.Sched != b.Sched || !reflect.DeepEqual(a.DiskStats, b.DiskStats) {
+				t.Fatalf("ioprio nondeterministic:\n%+v %+v\n%+v %+v", a.Sched, a.DiskStats, b.Sched, b.DiskStats)
+			}
+		})
+	}
+}
+
+// Block-heat collection must see the configured access skew. Block ids
+// interleave all columns, so "the first tenth of the table" is not a
+// prefix of block space; instead the skewed mix must concentrate heat:
+// its chunk-heat Herfindahl index (sum of squared heat shares) has to be
+// well above the uniform mix's.
+func TestBlockHeatSeesAccessSkew(t *testing.T) {
+	run := func(hotFrac, hotProb float64) []float64 {
+		cfg := tinyMicroConfig()
+		cfg.Policy = PBM
+		cfg.RangePercents = []int{1, 10}
+		cfg.CollectBlockHeat = true
+		cfg.HotFrac = hotFrac
+		cfg.HotProb = hotProb
+		res := RunMicro(smallDB, cfg)
+		if len(res.BlockHeat) == 0 {
+			t.Fatal("no block heat collected")
+		}
+		return ChunkHeat(res.BlockHeat, 4)
+	}
+	hhi := func(heat []float64) float64 {
+		var total, sq float64
+		for _, h := range heat {
+			total += h
+		}
+		if total == 0 {
+			t.Fatal("zero total heat")
+		}
+		for _, h := range heat {
+			s := h / total
+			sq += s * s
+		}
+		return sq
+	}
+	uniform, skewed := run(0, 0), run(0.1, 0.9)
+	if uh, sh := hhi(uniform), hhi(skewed); sh <= 1.5*uh {
+		t.Fatalf("skewed mix heat concentration %.4f not well above uniform %.4f", sh, uh)
+	}
+}
+
+// TestTieredTempBeatsRoundRobin is the tiering acceptance point: on a
+// skew-heavy serving mix over a 2-fast/2-slow array, placing the hottest
+// chunks on the fast tier (from a profiling pass's heat map) must finish
+// the same workload sooner than round-robin striping.
+func TestTieredTempBeatsRoundRobin(t *testing.T) {
+	base := func() ServeConfig {
+		cfg := ioBoundServeConfig()
+		cfg.Devices = 4
+		cfg.FastDevices = 2
+		cfg.HotFrac = 0.1
+		cfg.HotProb = 0.9
+		return cfg
+	}
+	// Profiling pass: identical mix, round-robin placement, heat on.
+	prof := base()
+	prof.CollectBlockHeat = true
+	pres := RunServe(tinyDB, prof)
+	heat := ChunkHeat(pres.BlockHeat, prof.StripeChunk)
+	if len(heat) == 0 {
+		t.Fatal("profiling pass collected no heat")
+	}
+	place := iosim.TemperaturePlacement(heat, 4, []int{0, 1})
+
+	rr := RunServe(tinyDB, base())
+	tempCfg := base()
+	tempCfg.ChunkPlacement = place
+	temp := RunServe(tinyDB, tempCfg)
+	if temp.Sched.Completed != rr.Sched.Completed {
+		t.Fatalf("completions diverged: temp %d, rr %d", temp.Sched.Completed, rr.Sched.Completed)
+	}
+	if temp.ElapsedSec >= rr.ElapsedSec {
+		t.Fatalf("temperature placement makespan %.4fs not below round-robin %.4fs",
+			temp.ElapsedSec, rr.ElapsedSec)
+	}
+}

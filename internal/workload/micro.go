@@ -52,7 +52,7 @@ func RunMicro(db *tpch.DB, cfg Config) *Result {
 			defer wg.Done()
 			for q := 0; q < cfg.QueriesPerStream; q++ {
 				pct := cfg.RangePercents[rng.Intn(len(cfg.RangePercents))]
-				r := randRange(rng, n, pct)
+				r := randRangeSkewed(rng, n, pct, cfg.HotFrac, cfg.HotProb)
 				useQ1 := rng.Intn(2) == 0
 				pred := e.pickPredicate(rng, cfg.Selectivities)
 				exec.Drain(e.microPlan(db, e.wrapPred(db, build, pred), r, useQ1))

@@ -74,6 +74,14 @@ type ServeConfig struct {
 	// issued, whether it is still queued or already executing. Zero (the
 	// default) draws nothing and changes nothing.
 	CancelRate float64
+	// IOPriority threads the admission policy's ordering signal down to
+	// the device queue as each query's I/O priority hint: wfq queries
+	// carry their tenant weight, sesf queries their negated cost estimate
+	// (shorter first). The elevator scheduler uses the hint to order
+	// same-position ties and ABM's chooseQuery consults it. Off by
+	// default: enabling it creates a QueryCtx per query, which the
+	// historical paths do not.
+	IOPriority bool
 }
 
 // DefaultTenants is the default number of fairness domains streams are
@@ -187,7 +195,7 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 				// per-stream order, so the workload is identical across
 				// policies and runs regardless of execution interleaving.
 				pct := cfg.RangePercents[rng.Intn(len(cfg.RangePercents))]
-				r := randRange(rng, n, pct)
+				r := randRangeSkewed(rng, n, pct, cfg.HotFrac, cfg.HotProb)
 				useQ1 := rng.Intn(2) == 0
 				pred := e.pickPredicate(rng, mix)
 				q := q
@@ -203,7 +211,7 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 					}
 				}
 				var qc *exec.QueryCtx
-				if cfg.Deadline > 0 || doCancel {
+				if cfg.Deadline > 0 || doCancel || cfg.IOPriority {
 					qc = exec.NewQueryCtx(e.rt)
 					if cfg.Deadline > 0 {
 						qc.SetDeadline(e.rt.Now() + sim.Time(cfg.Deadline))
@@ -226,6 +234,9 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 				req := sched.Query{Stream: s, Seq: q, Tenant: tenant, Ctx: qc}
 				if cost != nil {
 					req.Cost = cost.EstimateScanTime(e.survivingTuples(r, pred)).Seconds()
+				}
+				if cfg.IOPriority {
+					qc.SetPriority(ioPriority(cfg.AdmissionPolicy, weights, tenant, req.Cost))
 				}
 				runOne := func() {
 					tk, ok := sch.AdmitQuery(req)
@@ -274,6 +285,24 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 	e.rt.Run()
 	res.Result = *e.finish(nil)
 	return res
+}
+
+// ioPriority derives a query's device-level priority hint from the
+// admission policy's own ordering signal: under wfq a query carries its
+// tenant's fair-share weight (heavier tenants win ties), under sesf its
+// negated cost estimate (shorter queries win). Under fifo every query is
+// equal, so the elevator falls through to its arrival-ticket tie-break.
+func ioPriority(policy string, weights map[int]float64, tenant int, cost float64) float64 {
+	switch policy {
+	case "wfq":
+		if w, ok := weights[tenant]; ok {
+			return w
+		}
+		return 1
+	case "sesf":
+		return -cost
+	}
+	return 0
 }
 
 // CompareResult pairs an open-loop and a closed-loop run of the same

@@ -111,6 +111,38 @@ type Config struct {
 	// longer load batches, which is what a striped array fans out across
 	// its spindles.
 	ReadAheadTuples int64
+	// IOScheduler selects the device queue discipline
+	// (iosim.Config.Scheduler): "" or "fifo" keeps the historical FIFO
+	// service bit-identical; "elevator" runs a C-SCAN sweep per spindle.
+	IOScheduler string
+	// StripeRowRA deepens the scans' read-ahead window to at least one
+	// full stripe row (Devices × StripeChunk blocks) when the array has
+	// more than one device, so a single scan's read batch lands a piece on
+	// every spindle. Off by default: it changes load batching on existing
+	// multi-device configurations.
+	StripeRowRA bool
+	// FastDevices makes the first N spindles an SSD-like fast tier: zero
+	// seek latency and FastBandwidthX times the base bandwidth. Zero keeps
+	// the array homogeneous (bit-identical).
+	FastDevices int
+	// FastBandwidthX is the fast tier's bandwidth multiple (default 4;
+	// used only when FastDevices > 0).
+	FastBandwidthX float64
+	// ChunkPlacement optionally overrides the array's round-robin chunk
+	// striping (iosim.ArrayConfig.ChunkPlacement) — temperature-based
+	// tiering feeds iosim.TemperaturePlacement output here.
+	ChunkPlacement []int
+	// CollectBlockHeat enables the buffer managers' per-block
+	// access-temperature map, reported as Result.BlockHeat. Off by
+	// default (the counting walks every registered page range).
+	CollectBlockHeat bool
+	// HotFrac and HotProb skew the microbenchmark's range starts: with
+	// probability HotProb a query's scan range is drawn inside the first
+	// HotFrac of the table, concentrating access heat there. HotFrac <= 0
+	// (the default) draws nothing extra and keeps the historical uniform
+	// rng sequence bit-identical.
+	HotFrac float64
+	HotProb float64
 	// Real selects the real-threaded wall-clock runtime instead of the
 	// deterministic simulator: streams run as goroutines, the disk model
 	// prices reads in real sleeps, and XChg fans out on a worker pool of
@@ -178,6 +210,11 @@ type Result struct {
 	// Both zero when no selectivity axis is configured.
 	RequestedTuples int64
 	SkippedTuples   int64
+	// BlockHeat is the per-block access-temperature map collected by the
+	// run's buffer manager; nil unless Config.CollectBlockHeat is set.
+	// Feed it through ChunkHeat/iosim.TemperaturePlacement to build a
+	// tiered ChunkPlacement for a follow-up run.
+	BlockHeat map[iosim.BlockID]float64
 }
 
 // OPTIOBytes replays the run's trace under Belady's OPT (§4's
@@ -211,13 +248,30 @@ func newEnv(cfg Config, accessedBytes int64) *env {
 	} else {
 		e.rt = rt.Sim(sim.NewEngine())
 	}
+	base := iosim.Config{
+		Bandwidth:   cfg.BandwidthMB * 1e6,
+		SeekLatency: 50 * time.Microsecond,
+		Scheduler:   cfg.IOScheduler,
+	}
+	var tiers []iosim.Config
+	if cfg.FastDevices > 0 {
+		x := cfg.FastBandwidthX
+		if x <= 0 {
+			x = 4
+		}
+		tiers = make([]iosim.Config, cfg.FastDevices)
+		for i := range tiers {
+			// SSD-like fast tier: no seek penalty, a multiple of the base
+			// bandwidth.
+			tiers[i] = iosim.Config{Bandwidth: base.Bandwidth * x, SeekLatency: 0}
+		}
+	}
 	e.disk = iosim.NewArray(e.rt, iosim.ArrayConfig{
-		Config: iosim.Config{
-			Bandwidth:   cfg.BandwidthMB * 1e6,
-			SeekLatency: 50 * time.Microsecond,
-		},
-		Devices:     cfg.Devices,
-		StripeChunk: cfg.StripeChunk,
+		Config:         base,
+		Devices:        cfg.Devices,
+		StripeChunk:    cfg.StripeChunk,
+		DeviceConfigs:  tiers,
+		ChunkPlacement: cfg.ChunkPlacement,
 	})
 	capBytes := int64(cfg.BufferFrac * float64(accessedBytes))
 	if capBytes < 256<<10 {
@@ -236,14 +290,18 @@ func newEnv(cfg Config, accessedBytes int64) *env {
 		PerTupleCPU:     cfg.PerTupleCPU,
 		ReadAheadTuples: ra,
 	}
+	if cfg.StripeRowRA && e.disk.Devices() > 1 {
+		e.ctx.StripeRowBlocks = e.disk.Devices() * e.disk.StripeChunk()
+	}
 	if cfg.Real {
 		e.ctx.Workers = rt.NewWorkerPool(e.rt, cfg.Cores)
 	}
 	switch cfg.Policy {
 	case CScan:
 		e.abm = abm.New(e.rt, e.disk, abm.Config{
-			ChunkTuples: cfg.ChunkTuples,
-			Capacity:    capBytes,
+			ChunkTuples:      cfg.ChunkTuples,
+			Capacity:         capBytes,
+			CollectBlockHeat: cfg.CollectBlockHeat,
 		})
 		e.ctx.ABM = e.abm
 	default:
@@ -265,6 +323,7 @@ func newEnv(cfg Config, accessedBytes int64) *env {
 			pc.NumGroups = 12
 			pc.DefaultSpeed = 1e8
 			pc.LRUMode = cfg.Policy == PBMLRU
+			pc.CollectBlockHeat = cfg.CollectBlockHeat
 			g := pbm.NewGroup(e.rt, pc, shards)
 			if cfg.Throttle {
 				tc := pbm.DefaultThrottleConfig()
@@ -374,8 +433,38 @@ func (e *env) finish(streamEnds []sim.Time) *Result {
 	if e.ctx.Skip != nil {
 		e.result.RequestedTuples, e.result.SkippedTuples = e.ctx.Skip.Counts()
 	}
+	if e.cfg.CollectBlockHeat {
+		if e.abm != nil {
+			e.result.BlockHeat = e.abm.BlockHeat()
+		} else if e.pbm != nil {
+			e.result.BlockHeat = e.pbm.BlockHeat()
+		}
+	}
 	e.result.DiskStats = e.disk.Stats()
 	return e.result
+}
+
+// ChunkHeat folds a per-block temperature map into per-stripe-chunk heat,
+// sized to cover the hottest observed block — the input shape
+// iosim.TemperaturePlacement consumes.
+func ChunkHeat(blockHeat map[iosim.BlockID]float64, stripeChunk int) []float64 {
+	if len(blockHeat) == 0 {
+		return nil
+	}
+	if stripeChunk <= 0 {
+		stripeChunk = iosim.DefaultStripeChunk
+	}
+	maxChunk := 0
+	for b := range blockHeat {
+		if c := int(int64(b) / int64(stripeChunk)); c > maxChunk {
+			maxChunk = c
+		}
+	}
+	heat := make([]float64, maxChunk+1)
+	for b, h := range blockHeat {
+		heat[int64(b)/int64(stripeChunk)] += h
+	}
+	return heat
 }
 
 // sharingSampler starts the Figure 17/18 sampler process; stop it by
@@ -432,6 +521,38 @@ func randRange(rng *rand.Rand, n int64, pct int) exec.RIDRange {
 	var start int64
 	if maxStart > 0 {
 		start = rng.Int63n(maxStart)
+	}
+	return exec.RIDRange{Lo: start, Hi: start + span}
+}
+
+// randRangeSkewed is randRange with an access-skew overlay: with
+// probability hotProb the range start is drawn inside the first hotFrac
+// of the table, concentrating heat there (the workload shape temperature
+// -based tiering exploits). hotFrac <= 0 or hotProb <= 0 takes the plain
+// randRange path and consumes exactly its rng draws, keeping disabled
+// runs bit-identical.
+func randRangeSkewed(rng *rand.Rand, n int64, pct int, hotFrac, hotProb float64) exec.RIDRange {
+	if hotFrac <= 0 || hotProb <= 0 {
+		return randRange(rng, n, pct)
+	}
+	span := n * int64(pct) / 100
+	if span < 1 {
+		span = 1
+	}
+	maxStart := n - span
+	var start int64
+	if maxStart > 0 {
+		if rng.Float64() < hotProb {
+			hotMax := int64(float64(n)*hotFrac) - span
+			if hotMax > maxStart {
+				hotMax = maxStart
+			}
+			if hotMax > 0 {
+				start = rng.Int63n(hotMax)
+			}
+		} else {
+			start = rng.Int63n(maxStart)
+		}
 	}
 	return exec.RIDRange{Lo: start, Hi: start + span}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/iosim"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -88,6 +89,33 @@ type ServeOptions struct {
 	// StripeChunk overrides the array striping granularity in blocks for
 	// every multi-device cell (0 = iosim.DefaultStripeChunk).
 	StripeChunk int
+	// IOSchedulers is the device queue-discipline axis (default {"fifo"}):
+	// each cell runs once per discipline, rows adjacent, so the
+	// fifo/elevator seek effect reads off one table
+	// (`scanbench -iosched fifo,elevator`). "fifo" is bit-identical to the
+	// pre-scheduler engine; "elevator" runs a C-SCAN sweep per spindle.
+	IOSchedulers []string
+	// Tiers is the heterogeneous-array axis (default {"flat"}): "flat"
+	// keeps every spindle identical (bit-identical to the homogeneous
+	// engine); "tiered-rr" makes the first half of the devices an SSD-like
+	// fast tier (zero seek, 4x bandwidth) with round-robin chunk
+	// placement; "tiered-temp" additionally runs a profiling pass first
+	// and places the hottest chunks on the fast tier via
+	// iosim.TemperaturePlacement.
+	Tiers []string
+	// StripeRowRA deepens every cell's scan read-ahead to one full stripe
+	// row on multi-device arrays (see workload.Config.StripeRowRA).
+	StripeRowRA bool
+	// IOPriority threads each query's admission-policy signal (wfq tenant
+	// weight / sesf cost) down to the device queue as its I/O priority
+	// hint (see workload.ServeConfig.IOPriority).
+	IOPriority bool
+	// HotFrac and HotProb skew the query mix's range starts: with
+	// probability HotProb a query's scan range is drawn inside the first
+	// HotFrac of the table (the access skew temperature placement
+	// exploits). Zero keeps the historical uniform draws.
+	HotFrac float64
+	HotProb float64
 	// AdmissionPolicies is the admission-policy axis (default {"fifo"}):
 	// each cell of the sweep runs once per named policy, rows adjacent,
 	// so the fifo/sesf/wfq SLO comparison reads off one table. Names must
@@ -141,6 +169,8 @@ func DefaultServeOptions() ServeOptions {
 		Policies:          []Policy{LRU, Clock, PBM, CScan},
 		Shards:            []int{1, DefaultPoolShards},
 		Devices:           []int{1},
+		IOSchedulers:      []string{"fifo"},
+		Tiers:             []string{"flat"},
 		AdmissionPolicies: []string{"fifo"},
 		Selectivities:     []float64{1},
 		SLO:               250 * time.Millisecond,
@@ -182,6 +212,12 @@ func (o ServeOptions) fill() ServeOptions {
 	if len(o.Devices) == 0 {
 		o.Devices = d.Devices
 	}
+	if len(o.IOSchedulers) == 0 {
+		o.IOSchedulers = d.IOSchedulers
+	}
+	if len(o.Tiers) == 0 {
+		o.Tiers = d.Tiers
+	}
 	if len(o.AdmissionPolicies) == 0 {
 		o.AdmissionPolicies = d.AdmissionPolicies
 	}
@@ -212,6 +248,8 @@ type ServeRow struct {
 	Policy    string // buffer-management policy
 	Shards    int    // buffer-pool shard count (0 for CScan rows: no pool)
 	Devices   int    // disk-array spindle count
+	IOSched   string // device queue discipline (fifo/elevator)
+	Tier      string // array tiering (flat/tiered-rr/tiered-temp)
 	Admission string // admission policy (fifo/sesf/wfq)
 	Completed int64
 	Rejected  int64
@@ -239,6 +277,14 @@ type ServeRow struct {
 	// makespan (device bytes / elapsed), the column that makes the
 	// multi-device scaling effect measurable.
 	ReadMBps float64
+	// Seeks counts device requests that paid the seek penalty, summed
+	// over spindles — the column the elevator scheduler moves.
+	Seeks int64
+	// Skew is the busiest spindle's byte share relative to a perfect
+	// stripe balance: MaxDeviceBytes / (BytesRead / Devices). 1.00 means
+	// balanced, Devices means one spindle did all the work; 1.00 when the
+	// run transferred nothing.
+	Skew float64
 	// TenantP95ms and TenantSLOPct break p95 latency and SLO attainment
 	// down by tenant id (index = tenant), exposing what the aggregate
 	// hides: which tenant pays the overload tail under each admission
@@ -248,13 +294,15 @@ type ServeRow struct {
 }
 
 // serveRowOf flattens one serving result into the sweep's row shape.
-func serveRowOf(res *workload.ServeResult, rate float64, mpl int, pol Policy, shards, devices int, admission string, sel float64) ServeRow {
+func serveRowOf(res *workload.ServeResult, rate float64, mpl int, pol Policy, shards, devices int, iosched, tier, admission string, sel float64) ServeRow {
 	row := ServeRow{
 		Rate:        rate,
 		MPL:         mpl,
 		Policy:      pol.String(),
 		Shards:      shards,
 		Devices:     devices,
+		IOSched:     iosched,
+		Tier:        tier,
 		Admission:   admission,
 		Completed:   res.Sched.Completed,
 		Rejected:    res.Sched.Rejected,
@@ -279,6 +327,11 @@ func serveRowOf(res *workload.ServeResult, rate float64, mpl int, pol Policy, sh
 	if res.ElapsedSec > 0 {
 		row.ReadMBps = mb(res.DiskStats.BytesRead) / res.ElapsedSec
 	}
+	row.Seeks = res.DiskStats.Seeks
+	row.Skew = 1
+	if n := len(res.DiskStats.PerDevice); n > 0 && res.DiskStats.BytesRead > 0 {
+		row.Skew = float64(res.DiskStats.MaxDeviceBytes) * float64(n) / float64(res.DiskStats.BytesRead)
+	}
 	for _, ts := range res.Tenants {
 		row.TenantP95ms = append(row.TenantP95ms, ms(ts.P95))
 		row.TenantSLOPct = append(row.TenantSLOPct, ts.SLOAttainment*100)
@@ -299,16 +352,33 @@ func validateAdmission(names ...string) {
 	}
 }
 
+// validateTiers panics on an unknown tier name, naming the menu.
+func validateTiers(names ...string) {
+	for _, name := range names {
+		switch name {
+		case "flat", "tiered-rr", "tiered-temp":
+		default:
+			panic(fmt.Sprintf("scanshare: unknown tier %q (want flat, tiered-rr or tiered-temp)", name))
+		}
+	}
+}
+
 // ServeSweep runs the arrival-rate x MPL x buffer-policy x shard-count x
-// device-count x admission-policy cross product and returns one row per
-// cell: shards=1 and sharded rows adjacent so the sharding effect reads
-// off one table, device counts of one cell adjacent so the striping
-// effect does too, and admission-policy rows likewise for the
-// fifo/sesf/wfq SLO comparison. Unregistered admission-policy names
-// panic before any data is generated.
+// device-count x I/O-scheduler x tier x admission-policy cross product and
+// returns one row per cell: shards=1 and sharded rows adjacent so the
+// sharding effect reads off one table, device counts of one cell adjacent
+// so the striping effect does too, I/O-scheduler and tier rows likewise
+// for the fifo/elevator seek comparison and the flat/tiered placement
+// comparison, and admission-policy rows for the fifo/sesf/wfq SLO
+// comparison. A "tiered-temp" cell runs twice: a profiling pass collects
+// the per-chunk access heat under round-robin placement, then the
+// measured pass re-runs with the hottest chunks placed on the fast tier.
+// Unregistered admission-policy or tier names panic before any data is
+// generated.
 func ServeSweep(o ServeOptions) []ServeRow {
 	o = o.fill()
 	validateAdmission(o.AdmissionPolicies...)
+	validateTiers(o.Tiers...)
 	db := GenerateTPCHOpt(o.SF, o.Seed, TPCHGenOptions{ClusteredShipdate: o.Clustered})
 	var out []ServeRow
 	for _, rate := range o.Rates {
@@ -321,35 +391,68 @@ func ServeSweep(o ServeOptions) []ServeRow {
 				}
 				for _, shards := range shardAxis {
 					for _, devices := range o.Devices {
-						for _, adm := range o.AdmissionPolicies {
-							for _, sel := range o.Selectivities {
-								cfg := DefaultServeConfig()
-								cfg.Config = o.apply(cfg.Config)
-								cfg.Config.Real = o.Real
-								cfg.Policy = pol
-								cfg.ArrivalRate = rate
-								cfg.MPL = mpl
-								cfg.QueueDepth = o.QueueDepth
-								cfg.SLO = o.SLO
-								cfg.AdmissionPolicy = adm
-								cfg.Tenants = o.Tenants
-								cfg.TenantWeights = o.TenantWeights
-								if shards > 0 {
-									cfg.PoolShards = shards
+						for _, iosched := range o.IOSchedulers {
+							for _, tier := range o.Tiers {
+								for _, adm := range o.AdmissionPolicies {
+									for _, sel := range o.Selectivities {
+										cfg := DefaultServeConfig()
+										cfg.Config = o.apply(cfg.Config)
+										cfg.Config.Real = o.Real
+										cfg.Policy = pol
+										cfg.ArrivalRate = rate
+										cfg.MPL = mpl
+										cfg.QueueDepth = o.QueueDepth
+										cfg.SLO = o.SLO
+										cfg.AdmissionPolicy = adm
+										cfg.Tenants = o.Tenants
+										cfg.TenantWeights = o.TenantWeights
+										if shards > 0 {
+											cfg.PoolShards = shards
+										}
+										cfg.Config.Devices = devices
+										if o.StripeChunk > 0 {
+											cfg.Config.StripeChunk = o.StripeChunk
+										}
+										if sel < 1 {
+											// sel = 1 leaves Selectivities nil so the run is
+											// bit-identical to the pre-skipping sweep.
+											cfg.Selectivities = []float64{sel}
+										}
+										cfg.Deadline = o.Deadline
+										cfg.CancelRate = o.CancelRate
+										if iosched != "fifo" {
+											// "fifo" stays "" so the cell is bit-identical
+											// to the pre-scheduler engine.
+											cfg.Config.IOScheduler = iosched
+										}
+										cfg.Config.StripeRowRA = o.StripeRowRA
+										cfg.IOPriority = o.IOPriority
+										cfg.Config.HotFrac = o.HotFrac
+										cfg.Config.HotProb = o.HotProb
+										if tier != "flat" {
+											fd := devices / 2
+											if fd < 1 {
+												fd = 1
+											}
+											cfg.Config.FastDevices = fd
+											if tier == "tiered-temp" {
+												// Profiling pass: same cell, round-robin
+												// placement, heat collection on.
+												prof := cfg
+												prof.CollectBlockHeat = true
+												pres := workload.RunServe(db, prof)
+												heat := workload.ChunkHeat(pres.BlockHeat, cfg.Config.StripeChunk)
+												fast := make([]int, fd)
+												for i := range fast {
+													fast[i] = i
+												}
+												cfg.Config.ChunkPlacement = iosim.TemperaturePlacement(heat, devices, fast)
+											}
+										}
+										res := workload.RunServe(db, cfg)
+										out = append(out, serveRowOf(res, rate, mpl, pol, shards, devices, iosched, tier, adm, sel))
+									}
 								}
-								cfg.Config.Devices = devices
-								if o.StripeChunk > 0 {
-									cfg.Config.StripeChunk = o.StripeChunk
-								}
-								if sel < 1 {
-									// sel = 1 leaves Selectivities nil so the run is
-									// bit-identical to the pre-skipping sweep.
-									cfg.Selectivities = []float64{sel}
-								}
-								cfg.Deadline = o.Deadline
-								cfg.CancelRate = o.CancelRate
-								res := workload.RunServe(db, cfg)
-								out = append(out, serveRowOf(res, rate, mpl, pol, shards, devices, adm, sel))
 							}
 						}
 					}
@@ -454,7 +557,7 @@ func Compare(o CompareOptions) CompareReport {
 	}
 	res := workload.RunCompare(db, cfg)
 	row := func(r *workload.ServeResult) ServeRow {
-		return serveRowOf(r, o.Rate, o.MPL, o.Policy, o.Shards, o.Devices, o.Admission, 1)
+		return serveRowOf(r, o.Rate, o.MPL, o.Policy, o.Shards, o.Devices, "fifo", "flat", o.Admission, 1)
 	}
 	rep := CompareReport{Open: row(res.Open), Closed: row(res.Closed)}
 	rep.GapP50ms = rep.Open.P50ms - rep.Closed.P50ms
