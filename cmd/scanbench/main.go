@@ -59,81 +59,30 @@ func main() {
 		cpu     = flag.Duration("cpu", 0, "override per-tuple CPU cost")
 		tsv     = flag.Bool("tsv", false, "emit tab-separated values")
 
-		serve    = flag.Bool("serve", false, "run the open-loop serving sweep (arrival rate x MPL x policy x pool shards x devices x admission policy)")
-		compare  = flag.Bool("compare", false, "run the closed-vs-open-loop comparison at one serving configuration")
-		real     = flag.Bool("real", false, "run -serve/-compare on the real-threaded runtime (goroutines, wall-clock time) instead of the simulator")
-		rates    = flag.String("rates", "", "serve: comma-separated per-stream arrival rates in queries/s (default 1,5,20); -compare uses the first")
-		mpls     = flag.String("mpls", "", "serve: comma-separated MPL concurrency limits (default 8,32); -compare uses the first")
-		shards   = flag.String("shards", "", "buffer-pool shard counts: a comma-separated axis for -serve (default 1,8); the first value overrides the figure experiments' single pool")
-		devices  = flag.String("devices", "", "disk-array spindle counts: a comma-separated axis for -serve (default 1); the first value overrides the figure experiments' and -compare's single device")
-		stripe   = flag.Int("stripe", 0, "disk-array stripe chunk in blocks (0 = default 16); meaningful with -devices > 1")
-		iosched  = flag.String("iosched", "", "serve: comma-separated device queue disciplines (fifo, elevator; default fifo); elevator services each spindle's queue as a C-SCAN sweep")
-		tiers    = flag.String("tiers", "", "serve: comma-separated array tierings (flat, tiered-rr, tiered-temp; default flat); tiered cells make the first half of the devices an SSD-like fast tier, tiered-temp places the hottest chunks there from a profiling pass")
-		rowra    = flag.Bool("rowra", false, "serve: deepen scan read-ahead to one full stripe row on multi-device arrays (device-aware batch sizing)")
-		ioprio   = flag.Bool("ioprio", false, "serve: thread the admission policy's signal (wfq weight / sesf cost) to the device queue as per-query I/O priority")
-		hotfrac  = flag.Float64("hotfrac", 0, "serve: fraction of the table forming the hot region of a skewed query mix (0 = uniform)")
-		hotprob  = flag.Float64("hotprob", 0, "serve: probability a query's range is drawn from the hot region (0 = uniform)")
-		jsonOut  = flag.String("json", "", "serve: also write the sweep rows as JSON to this file (machine-readable benchmark output)")
-		policies = flag.String("policies", "", "serve: comma-separated admission policies (fifo, sesf, wfq; default fifo); -compare uses the first")
-		tenants  = flag.Int("tenants", 0, "serve/compare: number of tenants streams are mapped onto (default 4)")
-		weights  = flag.String("weights", "", "serve/compare: comma-separated per-tenant wfq weights, index = tenant id (default all 1)")
-		queue    = flag.Int("queue", 0, "serve/compare: admission queue depth (0 = default 64, negative = unbounded)")
-		slo      = flag.Duration("slo", 0, "serve/compare: end-to-end latency SLO (default 250ms)")
-		sels     = flag.String("selectivities", "", "serve: comma-separated predicate selectivities in (0,1] (default 1 = unrestricted scans); below 1 every query carries an l_shipdate window of that fraction of the date domain, pruned by the zone maps")
-		cluster  = flag.Bool("clustered", false, "serve: generate lineitem sorted by l_shipdate so the zone maps have physical structure to prune against")
-		deadline = flag.Duration("deadline", 0, "serve: per-query end-to-end deadline; queued queries past it are dropped (to%), executing ones killed at the next lifecycle check (0 = no deadlines)")
-		cancel   = flag.Float64("cancel", 0, "serve: fraction of queries whose client cancels them mid-flight, 0..1 (can%); each cancel lands a uniform [0,SLO) delay after issue")
+		serve   = flag.Bool("serve", false, "run the open-loop serving sweep (arrival rate x MPL x policy x pool shards x devices x admission policy)")
+		compare = flag.Bool("compare", false, "run the closed-vs-open-loop comparison at one serving configuration")
+		real    = flag.Bool("real", false, "run -serve/-compare on the real-threaded runtime (goroutines, wall-clock time) instead of the simulator")
 	)
+	// Every serving axis and knob (-rates, -mpls, -iosched, -deadline, ...)
+	// is declared once in scanshare.ServeAxes — shared with cmd/scanserved
+	// and cmd/scanload — instead of per-binary flag lists.
+	var axes scanshare.ServeAxes
+	axes.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	rateAxis := parseAxis("rates", *rates, parseFloat64)
-	mplAxis := parseAxis("mpls", *mpls, strconv.Atoi)
-	shardAxis := parseAxis("shards", *shards, strconv.Atoi)
-	deviceAxis := parseAxis("devices", *devices, strconv.Atoi)
-	weightAxis := parseAxis("weights", *weights, parseFloat64)
-	selAxis := parseAxis("selectivities", *sels, parseFloat64)
-	for _, s := range selAxis {
-		if s > 1 {
-			fmt.Fprintf(os.Stderr, "scanbench: -selectivities: bad element %g: must be in (0,1]\n", s)
-			os.Exit(2)
-		}
-	}
-	policyAxis := parseAdmissionPolicies(*policies)
-	if *cancel < 0 || *cancel > 1 {
-		fmt.Fprintf(os.Stderr, "scanbench: -cancel: bad value %g: must be in [0,1]\n", *cancel)
-		os.Exit(2)
-	}
-	if *deadline < 0 {
-		fmt.Fprintf(os.Stderr, "scanbench: -deadline: bad value %v: must be positive (0 = disabled)\n", *deadline)
-		os.Exit(2)
-	}
-	if *tenants < 0 {
-		fmt.Fprintf(os.Stderr, "scanbench: -tenants: bad value %d: must be positive (0 = default)\n", *tenants)
-		os.Exit(2)
-	}
-	if *stripe < 0 {
-		fmt.Fprintf(os.Stderr, "scanbench: -stripe: bad value %d: must be positive (0 = default)\n", *stripe)
-		os.Exit(2)
-	}
-	ioschedAxis := parseNameAxis("iosched", *iosched, "fifo", "elevator")
-	tierAxis := parseNameAxis("tiers", *tiers, "flat", "tiered-rr", "tiered-temp")
-	if *hotfrac < 0 || *hotfrac > 1 {
-		fmt.Fprintf(os.Stderr, "scanbench: -hotfrac: bad value %g: must be in [0,1]\n", *hotfrac)
-		os.Exit(2)
-	}
-	if *hotprob < 0 || *hotprob > 1 {
-		fmt.Fprintf(os.Stderr, "scanbench: -hotprob: bad value %g: must be in [0,1]\n", *hotprob)
+	if err := axes.Parse(); err != nil {
+		fmt.Fprintf(os.Stderr, "scanbench: %v\n", err)
 		os.Exit(2)
 	}
 	opts := scanshare.Options{
 		SF: *sf, Seed: *seed, Streams: *streams, QueriesPerStream: *queries,
 		ThreadsPerQuery: *threads, Cores: *cores, PerTupleCPU: *cpu,
-		StripeChunk: *stripe,
+		StripeChunk: axes.StripeChunk,
 	}
-	if len(shardAxis) > 0 {
-		opts.PoolShards = shardAxis[0]
+	if len(axes.Shards) > 0 {
+		opts.PoolShards = axes.Shards[0]
 	}
-	if len(deviceAxis) > 0 {
-		opts.Devices = deviceAxis[0]
+	if len(axes.Devices) > 0 {
+		opts.Devices = axes.Devices[0]
 	}
 	if *serve && *compare {
 		fmt.Fprintln(os.Stderr, "scanbench: -serve and -compare are mutually exclusive")
@@ -146,80 +95,20 @@ func main() {
 		}
 	}
 	if *compare {
-		if len(selAxis) > 0 || *cluster {
-			fmt.Fprintln(os.Stderr, "scanbench: -selectivities/-clustered apply only to -serve")
-			os.Exit(2)
-		}
-		if *deadline != 0 || *cancel != 0 {
-			fmt.Fprintln(os.Stderr, "scanbench: -deadline/-cancel apply only to -serve")
-			os.Exit(2)
-		}
-		if len(ioschedAxis) > 0 || len(tierAxis) > 0 || *rowra || *ioprio || *hotfrac != 0 || *hotprob != 0 || *jsonOut != "" {
-			fmt.Fprintln(os.Stderr, "scanbench: -iosched/-tiers/-rowra/-ioprio/-hotfrac/-hotprob/-json apply only to -serve")
-			os.Exit(2)
-		}
-		co := scanshare.DefaultCompareOptions()
-		co.Options = opts
-		co.Options.PoolShards = 0
-		co.Real = *real
-		if len(rateAxis) > 0 {
-			co.Rate = rateAxis[0]
-		}
-		if len(mplAxis) > 0 {
-			co.MPL = mplAxis[0]
-		}
-		if len(shardAxis) > 0 {
-			co.Shards = shardAxis[0]
-		}
-		if len(deviceAxis) > 0 {
-			co.Devices = deviceAxis[0]
-		}
-		co.StripeChunk = *stripe
-		if len(policyAxis) > 0 {
-			co.Admission = policyAxis[0]
-		}
-		co.Tenants = *tenants
-		co.TenantWeights = weightAxis
-		co.QueueDepth = *queue
-		co.SLO = *slo
+		rejectAxes(axes.ServeOnly(), "-serve")
+		co := scanshare.NewCompareOptions(opts, axes, *real)
 		start := time.Now()
 		printCompare(scanshare.Compare(co), *real, *tsv)
 		fmt.Printf("# compare done in %v\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 	if *serve {
-		so := scanshare.ServeOptions{
-			Options:           opts,
-			Rates:             rateAxis,
-			MPLs:              mplAxis,
-			Shards:            shardAxis,
-			Devices:           deviceAxis,
-			StripeChunk:       *stripe,
-			IOSchedulers:      ioschedAxis,
-			Tiers:             tierAxis,
-			StripeRowRA:       *rowra,
-			IOPriority:        *ioprio,
-			HotFrac:           *hotfrac,
-			HotProb:           *hotprob,
-			AdmissionPolicies: policyAxis,
-			Tenants:           *tenants,
-			TenantWeights:     weightAxis,
-			Selectivities:     selAxis,
-			Clustered:         *cluster,
-			QueueDepth:        *queue,
-			SLO:               *slo,
-			Deadline:          *deadline,
-			CancelRate:        *cancel,
-			Real:              *real,
-		}
-		// The per-run overrides must not fight the sweep's own axes.
-		so.Options.PoolShards = 0
-		so.Options.Devices = 0
+		so := scanshare.NewServeOptions(opts, axes, *real)
 		start := time.Now()
 		rows := scanshare.ServeSweep(so)
 		printServe(rows, *real, *tsv)
-		if *jsonOut != "" {
-			writeServeJSON(*jsonOut, rows)
+		if axes.JSONOut != "" {
+			writeServeJSON(axes.JSONOut, rows)
 		}
 		fmt.Printf("# serve done in %v\n", time.Since(start).Round(time.Millisecond))
 		return
@@ -228,22 +117,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scanbench: -real applies only to -serve/-compare; the figure targets are defined by the deterministic simulation")
 		os.Exit(2)
 	}
-	if len(rateAxis) > 0 || len(mplAxis) > 0 || len(policyAxis) > 0 || len(weightAxis) > 0 || *tenants != 0 {
-		fmt.Fprintln(os.Stderr, "scanbench: -rates/-mpls/-policies/-weights/-tenants apply only to -serve/-compare")
-		os.Exit(2)
-	}
-	if len(selAxis) > 0 || *cluster {
-		fmt.Fprintln(os.Stderr, "scanbench: -selectivities/-clustered apply only to -serve")
-		os.Exit(2)
-	}
-	if *deadline != 0 || *cancel != 0 {
-		fmt.Fprintln(os.Stderr, "scanbench: -deadline/-cancel apply only to -serve")
-		os.Exit(2)
-	}
-	if len(ioschedAxis) > 0 || len(tierAxis) > 0 || *rowra || *ioprio || *hotfrac != 0 || *hotprob != 0 || *jsonOut != "" {
-		fmt.Fprintln(os.Stderr, "scanbench: -iosched/-tiers/-rowra/-ioprio/-hotfrac/-hotprob/-json apply only to -serve")
-		os.Exit(2)
-	}
+	rejectAxes(axes.ServeOnly(), "-serve")
+	rejectAxes(axes.ServeOrCompareOnly(), "-serve/-compare")
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: scanbench [flags] fig11..fig18|all  or  scanbench [-real] -serve|-compare [flags]")
 		flag.Usage()
@@ -433,11 +308,13 @@ func printServe(rows []scanshare.ServeRow, real, tsv bool) {
 	w.Flush()
 }
 
-// writeServeJSON writes the sweep rows to path as a JSON array, the
-// machine-readable counterpart of the -tsv table (field names are the
-// ServeRow Go names). CI archives it as a benchmark artifact.
+// writeServeJSON writes the sweep rows to path as a JSON array in the
+// wire schema (wire.ServeStats — field-for-field the historical ServeRow
+// names), the machine-readable counterpart of the -tsv table and the
+// same shape scanserved's /statz and scanload's -json emit. CI archives
+// it as a benchmark artifact.
 func writeServeJSON(path string, rows []scanshare.ServeRow) {
-	b, err := json.MarshalIndent(rows, "", "  ")
+	b, err := json.MarshalIndent(scanshare.WireRows(rows), "", "  ")
 	if err == nil {
 		err = os.WriteFile(path, append(b, '\n'), 0o644)
 	}
@@ -503,86 +380,16 @@ func printCompare(rep scanshare.CompareReport, real, tsv bool) {
 	fmt.Println("# gap = open - closed latency: the queueing delay closed-loop measurement omits (coordinated omission)")
 }
 
-// parseAxis parses the comma-separated value of axis flag -name into
-// positive values. Malformed or non-positive entries exit with an error
-// naming the flag and the offending element; empty input yields nil.
-// -rates, -mpls and -shards all go through here, so every axis flag
-// reports mistakes the same way instead of each hand-rolling its own
-// (historically inconsistent) validation.
-func parseAxis[T int | float64](name, s string, parse func(string) (T, error)) []T {
-	if s == "" {
-		return nil
+// rejectAxes exits when a mode was given flags outside its scope: bad
+// is the offending flag-name list a ServeAxes scope helper returned,
+// modes the flags' legal home. Central scoping means a new serve flag
+// is rejected (not silently ignored) everywhere else by default.
+func rejectAxes(bad []string, modes string) {
+	if len(bad) == 0 {
+		return
 	}
-	var out []T
-	for _, f := range strings.Split(s, ",") {
-		v, err := parse(strings.TrimSpace(f))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "scanbench: -%s: bad element %q: not a number\n", name, f)
-			os.Exit(2)
-		}
-		if v <= 0 {
-			fmt.Fprintf(os.Stderr, "scanbench: -%s: bad element %q: must be positive\n", name, f)
-			os.Exit(2)
-		}
-		out = append(out, v)
-	}
-	return out
-}
-
-// parseFloat64 adapts strconv.ParseFloat to parseAxis's single-argument
-// shape.
-func parseFloat64(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
-
-// parseNameAxis parses the comma-separated value of the enumerated axis
-// flag -name, validating every element against the valid set so a typo
-// fails with the menu instead of panicking mid-sweep. Empty input yields
-// nil (the sweep's default). -iosched and -tiers go through here,
-// matching parseAxis's error style.
-func parseNameAxis(name, s string, valid ...string) []string {
-	if s == "" {
-		return nil
-	}
-	known := map[string]bool{}
-	for _, v := range valid {
-		known[v] = true
-	}
-	var out []string
-	for _, f := range strings.Split(s, ",") {
-		v := strings.TrimSpace(f)
-		if !known[v] {
-			fmt.Fprintf(os.Stderr, "scanbench: -%s: bad element %q (valid: %s)\n",
-				name, v, strings.Join(valid, ", "))
-			os.Exit(2)
-		}
-		out = append(out, v)
-	}
-	return out
-}
-
-// parseAdmissionPolicies parses the -policies axis, validating every
-// name against the registered admission policies so a typo fails with
-// the valid menu instead of panicking mid-sweep. Empty input yields nil
-// (the sweep defaults to fifo).
-func parseAdmissionPolicies(s string) []string {
-	if s == "" {
-		return nil
-	}
-	valid := scanshare.AdmissionPolicyNames()
-	known := map[string]bool{}
-	for _, name := range valid {
-		known[name] = true
-	}
-	var out []string
-	for _, f := range strings.Split(s, ",") {
-		name := strings.TrimSpace(f)
-		if !known[name] {
-			fmt.Fprintf(os.Stderr, "scanbench: -policies: unknown admission policy %q (registered: %s)\n",
-				name, strings.Join(valid, ", "))
-			os.Exit(2)
-		}
-		out = append(out, name)
-	}
-	return out
+	fmt.Fprintf(os.Stderr, "scanbench: -%s apply only to %s\n", strings.Join(bad, "/-"), modes)
+	os.Exit(2)
 }
 
 // bar renders a tiny stacked area impression: one char per ~sixteenth of

@@ -1,0 +1,327 @@
+// Command scanload drives a running scanserved over HTTP with the same
+// open-loop workload the in-process serving sweep generates: per-stream
+// Poisson arrivals (sched.ExpInterarrival), the same skewed range draw
+// (workload.RandRange), the same q1/q6 coin flip and selectivity-mix
+// draw, and the same client-abandon discipline — draw for draw from the
+// same per-stream seeds (seed + stream*6271) — so socket-path numbers
+// line up with `scanbench -serve -real` rows.
+//
+// The generator learns the table size and tenant count from the
+// server's /v1/statz, pins each stream to tenant = stream % tenants
+// (connection pooling would otherwise scramble the fairness domains),
+// fires each query in its own goroutine (open loop: a slow query does
+// not hold back its stream's arrivals), and classifies outcomes from
+// the wire protocol: the NDJSON trailer for admitted queries, the
+// ErrorReply outcome for refused ones, transport errors as client
+// cancels.
+//
+// One knowing divergence from the in-process sweep: the client draws
+// which selectivity a query wants from the mix, but the predicate
+// window's position is drawn server-side (the zone-map domain lives
+// there), so runs with -selectivities consume one fewer rng draw per
+// query than RunServe does. Default runs match exactly.
+//
+// Server-shaping axes (-mpls, -shards, -policies, ...) belong to
+// scanserved and are rejected here.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	scanshare "repro"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/wire"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://localhost:8080", "scanserved base URL")
+		streams = flag.Int("streams", 64, "concurrent client streams")
+		queries = flag.Int("queries", 4, "queries per stream")
+		seed    = flag.Int64("seed", 42, "per-stream rng seed base (matches scanbench)")
+	)
+	var axes scanshare.ServeAxes
+	axes.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	if err := axes.Parse(); err != nil {
+		fmt.Fprintf(os.Stderr, "scanload: %v\n", err)
+		os.Exit(2)
+	}
+	// Server-shaping axes configure scanserved, not the traffic.
+	var serverSide []string
+	for _, ax := range []struct {
+		name string
+		set  bool
+	}{
+		{"mpls", len(axes.MPLs) > 0},
+		{"shards", len(axes.Shards) > 0},
+		{"devices", len(axes.Devices) > 0},
+		{"stripe", axes.StripeChunk > 0},
+		{"iosched", len(axes.IOSchedulers) > 0},
+		{"tiers", len(axes.Tiers) > 0},
+		{"rowra", axes.StripeRowRA},
+		{"ioprio", axes.IOPriority},
+		{"policies", len(axes.AdmissionPolicies) > 0},
+		{"tenants", axes.Tenants > 0},
+		{"weights", len(axes.TenantWeights) > 0},
+		{"queue", axes.QueueDepth != 0},
+		{"clustered", axes.Clustered},
+	} {
+		if ax.set {
+			serverSide = append(serverSide, ax.name)
+		}
+	}
+	if len(serverSide) > 0 {
+		fmt.Fprintf(os.Stderr, "scanload: -%s shape the server; pass them to scanserved\n", strings.Join(serverSide, "/-"))
+		os.Exit(2)
+	}
+
+	rate := workload.DefaultServeConfig().ArrivalRate
+	if len(axes.Rates) > 0 {
+		rate = axes.Rates[0]
+	}
+	slo := time.Duration(workload.DefaultServeConfig().SLO)
+	if axes.SLO != 0 {
+		slo = axes.SLO
+	}
+	percents := workload.DefaultMicroConfig().RangePercents
+	mix := axes.Selectivities
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *streams}}
+	st, err := fetchStatz(client, *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scanload: %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	n := st.NumTuples
+	tenants := st.Tenants
+	if tenants < 1 {
+		tenants = 1
+	}
+	fmt.Printf("scanload: %s serving %d tuples, %d tenants; %d streams x %d queries at %g q/s/stream\n",
+		*addr, n, tenants, *streams, *queries, rate)
+
+	agg := &aggregate{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < *streams; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The generator-side draw order is RunServe's stream loop,
+			// draw for draw: gap, range percent, range, q1 coin,
+			// selectivity mix, then lifecycle draws last.
+			rng := rand.New(rand.NewSource(*seed + int64(s)*6271))
+			tenant := s % tenants
+			var qwg sync.WaitGroup
+			for q := 0; q < *queries; q++ {
+				time.Sleep(time.Duration(scanshare.ExpInterarrival(rng, rate)))
+				pct := percents[rng.Intn(len(percents))]
+				r := workload.RandRange(rng, n, pct, axes.HotFrac, axes.HotProb)
+				useQ1 := rng.Intn(2) == 0
+				sel := 0.0
+				if len(mix) > 0 {
+					sel = mix[0]
+					if len(mix) > 1 {
+						sel = mix[rng.Intn(len(mix))]
+					}
+				}
+				doCancel := false
+				var cancelAfter time.Duration
+				if axes.CancelRate > 0 {
+					doCancel = rng.Float64() < axes.CancelRate
+					if doCancel {
+						cancelAfter = time.Duration(rng.Float64() * float64(slo))
+					}
+				}
+				req := wire.QueryRequest{
+					Tenant: &tenant,
+					Kind:   wire.KindQ6,
+					Lo:     r.Lo,
+					Hi:     r.Hi,
+				}
+				if useQ1 {
+					req.Kind = wire.KindQ1
+				}
+				if sel > 0 && sel < 1 {
+					req.Selectivity = sel
+				}
+				if axes.Deadline > 0 {
+					req.Deadline = wire.Duration(axes.Deadline)
+				}
+				qwg.Add(1)
+				go func() {
+					defer qwg.Done()
+					agg.record(issue(client, *addr, req, doCancel, cancelAfter))
+				}()
+			}
+			qwg.Wait()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	agg.mu.Lock()
+	total := agg.completed + agg.rejected + agg.timedOut + agg.cancelled
+	fmt.Printf("scanload: client   %d queries in %.2fs: completed=%d rejected=%d timedout=%d cancelled=%d rows=%d\n",
+		total, elapsed.Seconds(), agg.completed, agg.rejected, agg.timedOut, agg.cancelled, agg.rows)
+	fmt.Printf("scanload: client   thr=%.2f q/s  p50=%s p95=%s p99=%s\n",
+		float64(agg.completed)/elapsed.Seconds(),
+		time.Duration(scanshare.Percentile(agg.lats, 50)).Round(time.Millisecond),
+		time.Duration(scanshare.Percentile(agg.lats, 95)).Round(time.Millisecond),
+		time.Duration(scanshare.Percentile(agg.lats, 99)).Round(time.Millisecond))
+	agg.mu.Unlock()
+
+	final, err := fetchStatz(client, *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scanload: final statz: %v\n", err)
+		os.Exit(1)
+	}
+	row := final.Stats
+	row.Rate = rate
+	fmt.Printf("scanload: server   completed=%d rejected=%d timedout=%d cancelled=%d thr=%.2f q/s  p50=%.1fms p95=%.1fms p99=%.1fms qwait95=%.1fms slo%%=%.1f\n",
+		row.Completed, row.Rejected, row.TimedOut, row.Cancelled,
+		row.Throughput, row.P50ms, row.P95ms, row.P99ms, row.QWaitP95ms, row.SLOPct)
+	if axes.JSONOut != "" {
+		b, err := json.MarshalIndent([]wire.ServeStats{row}, "", "  ")
+		if err == nil {
+			err = os.WriteFile(axes.JSONOut, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scanload: -json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// aggregate accumulates per-query results across all streams.
+type aggregate struct {
+	mu        sync.Mutex
+	completed int64
+	rejected  int64
+	timedOut  int64
+	cancelled int64
+	rows      int64
+	lats      []sim.Duration
+}
+
+// record buckets one outcome the way the scheduler's stats do:
+// refusals (rejected, draining) are Rejected, admission timeouts are
+// TimedOut, and both abandon causes (client-cancel, deadline-exceeded)
+// are Cancelled — so the client table reconciles against /v1/statz.
+func (a *aggregate) record(r result) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rows += r.rows
+	switch r.outcome {
+	case wire.OutcomeOK:
+		a.completed++
+		a.lats = append(a.lats, sim.Duration(r.latency))
+	case wire.OutcomeRejected, wire.OutcomeDraining:
+		a.rejected++
+	case wire.OutcomeAdmissionTimeout:
+		a.timedOut++
+	default:
+		a.cancelled++
+	}
+}
+
+type result struct {
+	outcome string
+	latency time.Duration
+	rows    int64
+}
+
+// issue posts one query and consumes its NDJSON stream: rows are
+// counted, the object trailer carries the authoritative outcome. A
+// doCancel query abandons its request cancelAfter after issue —
+// mid-stream if already flowing — exactly like the sweep's canceller.
+func issue(c *http.Client, base string, qr wire.QueryRequest, doCancel bool, cancelAfter time.Duration) result {
+	start := time.Now()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if doCancel {
+		t := time.AfterFunc(cancelAfter, cancel)
+		defer t.Stop()
+	}
+	body, err := json.Marshal(qr)
+	if err != nil {
+		return result{outcome: "encode-error"}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+wire.PathQuery, bytes.NewReader(body))
+	if err != nil {
+		return result{outcome: "request-error"}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.Do(req)
+	if err != nil {
+		return result{outcome: wire.OutcomeClientCancel, latency: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er wire.ErrorReply
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		out := er.Outcome
+		if out == "" {
+			out = fmt.Sprintf("http-%d", resp.StatusCode)
+		}
+		return result{outcome: out, latency: time.Since(start)}
+	}
+	br := bufio.NewReader(resp.Body)
+	var rows int64
+	var trailer wire.QueryResult
+	sawTrailer := false
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 {
+			switch line[0] {
+			case '[':
+				rows++
+			case '{':
+				if json.Unmarshal(line, &trailer) == nil {
+					sawTrailer = true
+				}
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	lat := time.Since(start)
+	if !sawTrailer {
+		// Stream cut before the trailer: the abandon (ours or the
+		// network's) is the outcome.
+		return result{outcome: wire.OutcomeClientCancel, latency: lat, rows: rows}
+	}
+	return result{outcome: trailer.Outcome, latency: lat, rows: rows}
+}
+
+// fetchStatz reads and decodes the server's /v1/statz snapshot.
+func fetchStatz(c *http.Client, base string) (wire.Statz, error) {
+	var st wire.Statz
+	resp, err := c.Get(base + wire.PathStatz)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("statz: http %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("statz: %v", err)
+	}
+	return st, nil
+}

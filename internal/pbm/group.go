@@ -2,6 +2,7 @@ package pbm
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/buffer"
 	"repro/internal/iosim"
@@ -35,6 +36,12 @@ var (
 // in its own shard, because frames are attached through the pool's
 // per-shard Admitted callbacks.
 type Group struct {
+	// regMu serializes whole registrations across members: each member
+	// assigns IDs from its own counter under its own lock, so two scans
+	// whose fan-outs interleave would receive different IDs from
+	// different members. Real-threaded serving opens scans concurrently;
+	// only the registration sequence needs group-level atomicity.
+	regMu   sync.Mutex
 	members []*PBM
 }
 
@@ -65,6 +72,8 @@ func (g *Group) PolicyFactory() func(shard int) buffer.Policy {
 // RegisterScan fans the registration out to every member. Members assign
 // IDs from identical call sequences, so the IDs agree by construction.
 func (g *Group) RegisterScan(pagesPerColumn [][]*storage.Page) ScanID {
+	g.regMu.Lock()
+	defer g.regMu.Unlock()
 	id := g.members[0].RegisterScan(pagesPerColumn)
 	for _, m := range g.members[1:] {
 		if mid := m.RegisterScan(pagesPerColumn); mid != id {

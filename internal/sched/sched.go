@@ -100,17 +100,19 @@ type Scheduler struct {
 	r   rt.Runtime
 	cfg Config
 
-	mu      sync.Mutex
-	running int
-	policy  AdmissionPolicy
-	order   int64 // arrival sequence for deterministic tie-breaks
+	mu       sync.Mutex
+	running  int
+	policy   AdmissionPolicy
+	order    int64 // arrival sequence for deterministic tie-breaks
+	draining bool
 
-	arrived   int64
-	rejected  int64
-	completed []QueryStat
-	dropped   []QueryStat // queue drops: entries that died before admission
-	killed    []QueryStat // mid-execution kills: admitted, then cancelled/expired
-	maxQueue  int
+	arrived       int64
+	rejected      int64
+	drainRejected int64
+	completed     []QueryStat
+	dropped       []QueryStat // queue drops: entries that died before admission
+	killed        []QueryStat // mid-execution kills: admitted, then cancelled/expired
+	maxQueue      int
 
 	// pending mirrors the policy's waiting set in arrival order, so the
 	// scheduler can reap expired entries without asking the policy to
@@ -190,19 +192,92 @@ func (s *Scheduler) Admit(stream, seq int) (*Ticket, bool) {
 	return s.AdmitQuery(Query{Stream: stream, Seq: seq})
 }
 
+// AdmitOutcome classifies how an admission request resolved.
+type AdmitOutcome int
+
+const (
+	// AdmitGranted: the query holds an MPL slot; resolve its Ticket.
+	AdmitGranted AdmitOutcome = iota
+	// AdmitRejected: the bounded admission queue was full.
+	AdmitRejected
+	// AdmitDraining: the scheduler is draining and refuses new work.
+	// Counted separately from Rejected (see Stats.DrainRejected) so
+	// shutdown does not pollute the rejection stats.
+	AdmitDraining
+	// AdmitDropped: the query died before admission — cancelled on
+	// arrival or while queued, or past its deadline. The cause is on
+	// its Query.Ctx.
+	AdmitDropped
+)
+
+func (o AdmitOutcome) String() string {
+	switch o {
+	case AdmitGranted:
+		return "granted"
+	case AdmitRejected:
+		return "rejected"
+	case AdmitDraining:
+		return "draining"
+	case AdmitDropped:
+		return "dropped"
+	}
+	return fmt.Sprintf("AdmitOutcome(%d)", int(o))
+}
+
 // AdmitQuery requests admission for q. It blocks (in virtual time) while
 // the MPL is saturated and the query sits in the admission queue, to be
 // picked by the admission policy. It returns ok=false — without blocking
 // — when the queue is full and the query is rejected.
 func (s *Scheduler) AdmitQuery(q Query) (*Ticket, bool) {
+	t, out := s.AdmitQueryOutcome(q)
+	return t, out == AdmitGranted
+}
+
+// Drain puts the scheduler into draining: every subsequent admission
+// resolves AdmitDraining without blocking. Already-queued queries keep
+// their place and still run; pair Drain with polling Idle to wait for
+// the in-flight work to finish.
+func (s *Scheduler) Drain() {
 	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether Drain has been called.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Idle reports whether no query is running or queued — after Drain,
+// this is the "safe to exit" signal.
+func (s *Scheduler) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running == 0 && s.policy.Len() == 0
+}
+
+// AdmitQueryOutcome is AdmitQuery with the resolution classified: the
+// serving front end branches on queue-full versus draining versus a
+// query that died while queued, which the boolean form conflates.
+func (s *Scheduler) AdmitQueryOutcome(q Query) (*Ticket, AdmitOutcome) {
+	s.mu.Lock()
+	if s.draining {
+		// Refused work is not an arrival: the reconciliation invariant
+		// (Completed+Rejected+TimedOut+Cancelled == Arrived once idle)
+		// must survive a drain race.
+		s.drainRejected++
+		s.mu.Unlock()
+		return nil, AdmitDraining
+	}
 	s.arrived++
 	t := &Ticket{s: s, stream: q.Stream, seq: q.Seq, tenant: q.Tenant, arrive: s.r.Now(), qctx: q.Ctx}
 	if s.running < s.cfg.MPL {
 		s.running++
 		t.admit = t.arrive
 		s.mu.Unlock()
-		return t, true
+		return t, AdmitGranted
 	}
 	if s.cfg.QueueDepth >= 0 && s.policy.Len() >= s.cfg.QueueDepth {
 		// Before rejecting a live arrival, reap queued entries that are
@@ -212,7 +287,7 @@ func (s *Scheduler) AdmitQuery(q Query) (*Ticket, bool) {
 		if s.policy.Len() >= s.cfg.QueueDepth {
 			s.rejected++
 			s.mu.Unlock()
-			return nil, false
+			return nil, AdmitRejected
 		}
 	}
 	if q.Ctx.Cancelled() {
@@ -223,7 +298,7 @@ func (s *Scheduler) AdmitQuery(q Query) (*Ticket, bool) {
 		cause := q.Ctx.Cause()
 		s.recordDropLocked(q.Stream, q.Seq, q.Tenant, t.arrive, cause)
 		s.mu.Unlock()
-		return nil, false
+		return nil, AdmitDropped
 	}
 	s.order++
 	p := &Pending{
@@ -251,7 +326,7 @@ func (s *Scheduler) AdmitQuery(q Query) (*Ticket, bool) {
 	if q.Ctx == nil {
 		// Historical path: the only possible wake-up is a slot grant.
 		t.admit = s.r.Now()
-		return t, true
+		return t, AdmitGranted
 	}
 	s.mu.Lock()
 	switch {
@@ -262,12 +337,12 @@ func (s *Scheduler) AdmitQuery(q Query) (*Ticket, bool) {
 		// Cancel, so the accounting stays single-bucket.
 		t.admit = s.r.Now()
 		s.mu.Unlock()
-		return t, true
+		return t, AdmitGranted
 	case p.dropCause != rt.CauseNone:
 		// A slot-releasing query or the queue-full reaper already removed
 		// and recorded this entry.
 		s.mu.Unlock()
-		return nil, false
+		return nil, AdmitDropped
 	default:
 		// Woken by our own cancel hook while still queued: take the entry
 		// out of the queue and record the drop.
@@ -280,7 +355,7 @@ func (s *Scheduler) AdmitQuery(q Query) (*Ticket, bool) {
 		s.unpendLocked(p)
 		s.recordDropLocked(p.Stream, p.Seq, p.Tenant, p.arrive, cause)
 		s.mu.Unlock()
-		return nil, false
+		return nil, AdmitDropped
 	}
 }
 
@@ -537,6 +612,11 @@ type Stats struct {
 	// entries dropped while waiting. It is reported separately so dead
 	// entries do not pollute the completed-query latency percentiles.
 	QueueDrop LatencyDist
+	// DrainRejected counts admissions refused because the scheduler was
+	// draining. These are not arrivals: the Completed + Rejected +
+	// TimedOut + Cancelled == Arrived reconciliation holds with or
+	// without a drain, and shutdown does not inflate Rejected.
+	DrainRejected int64
 }
 
 // Stats summarizes the run as of time now.
@@ -547,6 +627,7 @@ func (s *Scheduler) Stats(now sim.Time) Stats {
 		Arrived:       s.arrived,
 		Completed:     int64(len(s.completed)),
 		Rejected:      s.rejected,
+		DrainRejected: s.drainRejected,
 		MaxQueueDepth: s.maxQueue,
 		Makespan:      now,
 	}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"flag"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseAxes runs one simulated command line through the full
+// RegisterFlags + flag parse + Parse path.
+func parseAxes(t *testing.T, args ...string) (*ServeAxes, error) {
+	t.Helper()
+	var a ServeAxes
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	a.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("flag parse: %v", err)
+	}
+	return &a, a.Parse()
+}
+
+func TestServeAxesParse(t *testing.T) {
+	a, err := parseAxes(t,
+		"-rates", "1,5.5", "-mpls", "8, 32", "-shards", "1,8",
+		"-iosched", "fifo,elevator", "-tiers", "tiered-temp",
+		"-policies", "fifo,wfq", "-weights", "2,1",
+		"-selectivities", "0.1,1", "-slo", "100ms", "-deadline", "1s",
+		"-cancel", "0.25", "-tenants", "2", "-queue", "16",
+	)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(a.Rates) != 2 || a.Rates[1] != 5.5 {
+		t.Errorf("Rates = %v", a.Rates)
+	}
+	if len(a.MPLs) != 2 || a.MPLs[0] != 8 || a.MPLs[1] != 32 {
+		t.Errorf("MPLs = %v (whitespace should be trimmed)", a.MPLs)
+	}
+	if len(a.IOSchedulers) != 2 || a.IOSchedulers[1] != "elevator" {
+		t.Errorf("IOSchedulers = %v", a.IOSchedulers)
+	}
+	if len(a.AdmissionPolicies) != 2 || a.AdmissionPolicies[1] != "wfq" {
+		t.Errorf("AdmissionPolicies = %v", a.AdmissionPolicies)
+	}
+	if a.SLO != 100*time.Millisecond || a.Deadline != time.Second || a.CancelRate != 0.25 {
+		t.Errorf("SLO/Deadline/CancelRate = %v/%v/%v", a.SLO, a.Deadline, a.CancelRate)
+	}
+}
+
+func TestServeAxesParseErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // substring of the error
+	}{
+		{[]string{"-rates", "1,x"}, `-rates: bad element "x": not a number`},
+		{[]string{"-mpls", "0"}, `-mpls: bad element "0": must be positive`},
+		{[]string{"-selectivities", "1.5"}, "-selectivities: bad element 1.5: must be in (0,1]"},
+		{[]string{"-iosched", "lifo"}, `-iosched: bad element "lifo" (valid: fifo, elevator)`},
+		{[]string{"-tiers", "warm"}, `-tiers: bad element "warm"`},
+		{[]string{"-policies", "bogus"}, `unknown admission policy "bogus"`},
+		{[]string{"-cancel", "1.5"}, "-cancel: bad value 1.5: must be in [0,1]"},
+		{[]string{"-deadline", "-1s"}, "-deadline: bad value -1s"},
+		{[]string{"-tenants", "-1"}, "-tenants: bad value -1"},
+		{[]string{"-stripe", "-4"}, "-stripe: bad value -4"},
+		{[]string{"-hotfrac", "2"}, "-hotfrac: bad value 2"},
+		{[]string{"-hotprob", "-0.5"}, "-hotprob: bad value -0.5"},
+	}
+	for _, c := range cases {
+		_, err := parseAxes(t, c.args...)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%v: err = %v, want substring %q", c.args, err, c.want)
+		}
+	}
+}
+
+// TestServeAxesScopes: the scope helpers name exactly the set flags a
+// mode must reject, so a flag declared with the wrong scope (or not
+// classified at all) shows up as a test diff, not a silent ignore.
+func TestServeAxesScopes(t *testing.T) {
+	a, err := parseAxes(t,
+		"-rates", "1", "-queue", "8", "-slo", "50ms", // serve/compare scope
+		"-iosched", "elevator", "-json", "/tmp/x", "-clustered", // serve-only scope
+		"-shards", "4", "-devices", "2", "-stripe", "8", // figure scope: never rejected
+	)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got, want := a.ServeOnly(), []string{"iosched", "json", "clustered"}; !equalStrings(got, want) {
+		t.Errorf("ServeOnly() = %v, want %v", got, want)
+	}
+	if got, want := a.ServeOrCompareOnly(), []string{"rates", "queue", "slo", "iosched", "json", "clustered"}; !equalStrings(got, want) {
+		t.Errorf("ServeOrCompareOnly() = %v, want %v", got, want)
+	}
+
+	// Every flag in the table must be classified and every scope helper
+	// must cover its scope: an unset axes value reports nothing.
+	b, err := parseAxes(t)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := b.ServeOrCompareOnly(); len(got) != 0 {
+		t.Errorf("ServeOrCompareOnly() on defaults = %v, want empty", got)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -58,6 +58,14 @@ func (e *env) pickPredicate(rng *rand.Rand, mix []float64) *exec.ScanPredicate {
 	if len(mix) > 1 {
 		sel = mix[rng.Intn(len(mix))]
 	}
+	return e.drawWindow(rng, sel)
+}
+
+// drawWindow draws one shipdate window of the given selectivity at a
+// random position — pickPredicate's draw step, shared with the serving
+// engine's per-request predicate service. Consumes exactly one rng draw
+// when the window is placeable and none otherwise (golden-critical).
+func (e *env) drawWindow(rng *rand.Rand, sel float64) *exec.ScanPredicate {
 	if sel >= 1 || e.predIx == nil {
 		return nil
 	}
@@ -71,6 +79,13 @@ func (e *env) pickPredicate(rng *rand.Rand, mix []float64) *exec.ScanPredicate {
 		lo += rng.Int63n(maxStart + 1)
 	}
 	return &exec.ScanPredicate{Col: e.predCol, Lo: lo, Hi: lo + span - 1}
+}
+
+// RandRange draws one query's scan range exactly as the serving
+// driver's stream loop does — exported for cmd/scanload, which
+// reproduces the sweep's query mix client-side over the socket.
+func RandRange(rng *rand.Rand, n int64, pct int, hotFrac, hotProb float64) exec.RIDRange {
+	return randRangeSkewed(rng, n, pct, hotFrac, hotProb)
 }
 
 // survivingTuples prices a predicate scan for admission: the tuples the

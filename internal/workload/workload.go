@@ -7,6 +7,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -52,6 +53,22 @@ func (p Policy) String() string {
 		return "CScans"
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Policies enumerates every buffer-management policy, in declaration
+// order.
+func Policies() []Policy { return []Policy{LRU, MRU, Clock, PBM, PBMLRU, CScan} }
+
+// ParsePolicy maps a buffer-policy name (as Policy.String prints it,
+// case-insensitively) back to its constant — the inverse command-line
+// binaries need.
+func ParsePolicy(name string) (Policy, bool) {
+	for _, p := range Policies() {
+		if strings.EqualFold(name, p.String()) {
+			return p, true
+		}
+	}
+	return 0, false
 }
 
 // Config parameterizes one experiment run.

@@ -293,12 +293,15 @@ type ServeRow struct {
 	TenantSLOPct []float64
 }
 
-// serveRowOf flattens one serving result into the sweep's row shape.
-func serveRowOf(res *workload.ServeResult, rate float64, mpl int, pol Policy, shards, devices int, iosched, tier, admission string, sel float64) ServeRow {
+// ServeRowOf flattens one serving result into the sweep's row shape,
+// labelled with the configuration axes of the run that produced it. The
+// sweep itself uses it; so does scanserved's /statz endpoint, which
+// exports its live ServeEngine stats in the identical row schema.
+func ServeRowOf(res *ServeResult, rate float64, mpl int, policy string, shards, devices int, iosched, tier, admission string, sel float64) ServeRow {
 	row := ServeRow{
 		Rate:        rate,
 		MPL:         mpl,
-		Policy:      pol.String(),
+		Policy:      policy,
 		Shards:      shards,
 		Devices:     devices,
 		IOSched:     iosched,
@@ -450,7 +453,7 @@ func ServeSweep(o ServeOptions) []ServeRow {
 											}
 										}
 										res := workload.RunServe(db, cfg)
-										out = append(out, serveRowOf(res, rate, mpl, pol, shards, devices, iosched, tier, adm, sel))
+										out = append(out, ServeRowOf(res, rate, mpl, pol.String(), shards, devices, iosched, tier, adm, sel))
 									}
 								}
 							}
@@ -557,7 +560,7 @@ func Compare(o CompareOptions) CompareReport {
 	}
 	res := workload.RunCompare(db, cfg)
 	row := func(r *workload.ServeResult) ServeRow {
-		return serveRowOf(r, o.Rate, o.MPL, o.Policy, o.Shards, o.Devices, "fifo", "flat", o.Admission, 1)
+		return ServeRowOf(r, o.Rate, o.MPL, o.Policy.String(), o.Shards, o.Devices, "fifo", "flat", o.Admission, 1)
 	}
 	rep := CompareReport{Open: row(res.Open), Closed: row(res.Closed)}
 	rep.GapP50ms = rep.Open.P50ms - rep.Closed.P50ms

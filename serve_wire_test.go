@@ -1,0 +1,50 @@
+package scanshare_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	scanshare "repro"
+	"repro/wire"
+)
+
+// TestServeRowWireCompat: the wire schema must marshal byte-for-byte as
+// the historical ServeRow JSON — consumers of old `scanbench -json`
+// files parse new ones and vice versa.
+func TestServeRowWireCompat(t *testing.T) {
+	row := scanshare.ServeRow{
+		Rate: 5, MPL: 8, Policy: "PBM", Shards: 8, Devices: 4,
+		IOSched: "elevator", Tier: "tiered-rr", Admission: "wfq",
+		Completed: 100, Rejected: 3, TimedOut: 2, Cancelled: 1,
+		ToPct: 1.9, CanPct: 0.9, Throughput: 42.5,
+		P50ms: 10, P95ms: 50, P99ms: 90, QWaitP95ms: 12.5, SLOPct: 97.5,
+		IOMB: 123.4, Selectivity: 0.1, SkipPct: 88.8, ReadMBps: 456.7,
+		Seeks: 9, Skew: 1.25,
+		TenantP95ms: []float64{40, 60}, TenantSLOPct: []float64{99, 95},
+	}
+	a, err := json.Marshal(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(row.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("wire.ServeStats JSON drifted from ServeRow:\n row: %s\nwire: %s", a, b)
+	}
+
+	// And the wire form round-trips into itself.
+	var back wire.ServeStats
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	c, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, c) {
+		t.Errorf("wire.ServeStats does not round-trip:\n in: %s\nout: %s", b, c)
+	}
+}

@@ -1,0 +1,201 @@
+// Package wire defines the versioned JSON schema of the scanshare
+// network surface. One set of types covers every producer and consumer:
+// scanserved's request/response bodies, its /statz export, the scanload
+// load-generator client, and scanbench's -json sweep output — so
+// socket-path numbers and in-process sweep rows are directly comparable
+// field for field.
+//
+// The package is deliberately dependency-free (stdlib only) so clients
+// can vendor or copy it without pulling in the engine.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Version is the wire-schema version; it prefixes every endpoint path
+// and is echoed in Statz so clients can detect skew.
+const Version = "v1"
+
+// Endpoint paths served by scanserved.
+const (
+	// PathQuery accepts a POST with a QueryRequest body and streams the
+	// result back as NDJSON: one JSON array per row, then one final
+	// QueryResult object (rows start with '[', the trailer with '{').
+	PathQuery = "/" + Version + "/query"
+	// PathStatz serves the Statz snapshot as JSON.
+	PathStatz = "/" + Version + "/statz"
+	// PathHealth serves liveness: 200 "ok" normally, 503 "draining"
+	// once graceful shutdown has begun.
+	PathHealth = "/healthz"
+)
+
+// ContentTypeNDJSON is the streaming response content type.
+const ContentTypeNDJSON = "application/x-ndjson"
+
+// Duration marshals as a Go duration string ("250ms", "1.5s") and
+// unmarshals from either that form or a plain number of nanoseconds, so
+// hand-written curl bodies stay readable.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its Go string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts a duration string or a number of nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("wire: bad duration %q: %v", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	ns, err := strconv.ParseInt(string(b), 10, 64)
+	if err != nil {
+		return fmt.Errorf("wire: bad duration %s: want a string like \"250ms\" or nanoseconds", b)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Query kinds: the microbenchmark aggregations and a raw row stream.
+const (
+	// KindQ1 and KindQ6 run the paper's microbenchmark aggregation
+	// plans over the requested range; they return a handful of rows.
+	KindQ1 = "q1"
+	KindQ6 = "q6"
+	// KindScan streams the scanned rows themselves (the microbenchmark
+	// column set), the kind that exercises result-delivery backpressure.
+	KindScan = "scan"
+)
+
+// Predicate is an explicit int64 range restriction [Lo, Hi] on a
+// lineitem column, pushed down to the scans for zone-map pruning.
+type Predicate struct {
+	Col    string
+	Lo, Hi int64
+}
+
+// QueryRequest is the POST body of PathQuery.
+type QueryRequest struct {
+	// Tenant pins the query's fairness domain. Absent, the query
+	// belongs to its connection's tenant (connections are assigned
+	// tenants round-robin), so naive clients get multi-tenancy for
+	// free and load generators can pin exact stream→tenant maps.
+	Tenant *int `json:",omitempty"`
+	// Kind selects the plan: "q1", "q6" (default) or "scan".
+	Kind string `json:",omitempty"`
+	// Lo and Hi restrict the scan to the half-open row range [Lo, Hi).
+	// Hi == 0 means the full table. Out-of-range bounds are clipped.
+	Lo int64 `json:",omitempty"`
+	Hi int64 `json:",omitempty"`
+	// Predicate carries an explicit column window; Selectivity (in
+	// (0,1)) instead asks the server to draw an l_shipdate window
+	// spanning that fraction of the date domain, the same discipline
+	// the in-process serve sweep uses. Predicate wins if both are set.
+	Predicate   *Predicate `json:",omitempty"`
+	Selectivity float64    `json:",omitempty"`
+	// Deadline arms an end-to-end deadline relative to arrival:
+	// queries still queued past it time out with "admission-timeout",
+	// executing ones are killed with "deadline-exceeded".
+	Deadline Duration `json:",omitempty"`
+}
+
+// Outcome labels carried by QueryResult and ErrorReply. The lifecycle
+// outcomes match rt.CancelCause.String().
+const (
+	OutcomeOK               = "ok"
+	OutcomeClientCancel     = "client-cancel"
+	OutcomeDeadlineExceeded = "deadline-exceeded"
+	OutcomeAdmissionTimeout = "admission-timeout"
+	OutcomeRejected         = "rejected"
+	OutcomeDraining         = "draining"
+)
+
+// QueryResult is the final NDJSON line of a streamed response: the
+// only object in the stream (every row is an array), so clients split
+// on the first byte.
+type QueryResult struct {
+	Rows    int64
+	Bytes   int64
+	Tenant  int
+	Outcome string
+	// LatencyMS is arrival→finish, QueueWaitMS arrival→admission, both
+	// on the server clock.
+	LatencyMS   float64
+	QueueWaitMS float64
+	Error       string `json:",omitempty"`
+}
+
+// ErrorReply is the JSON body of a non-200 response.
+type ErrorReply struct {
+	Error   string
+	Outcome string `json:",omitempty"`
+}
+
+// ServeStats is one serving measurement in the serve-table schema: the
+// exact field set (and JSON names) of the in-process sweep's ServeRow,
+// so `scanbench -json` files, /statz exports and scanload reports all
+// parse with one type. See ServeRow in the root package for the field
+// semantics.
+type ServeStats struct {
+	Rate         float64
+	MPL          int
+	Policy       string
+	Shards       int
+	Devices      int
+	IOSched      string
+	Tier         string
+	Admission    string
+	Completed    int64
+	Rejected     int64
+	TimedOut     int64
+	Cancelled    int64
+	ToPct        float64
+	CanPct       float64
+	Throughput   float64
+	P50ms        float64
+	P95ms        float64
+	P99ms        float64
+	QWaitP95ms   float64
+	SLOPct       float64
+	IOMB         float64
+	Selectivity  float64
+	SkipPct      float64
+	ReadMBps     float64
+	Seeks        int64
+	Skew         float64
+	TenantP95ms  []float64
+	TenantSLOPct []float64
+}
+
+// Statz is the PathStatz response: the live serve-table row plus
+// server-level gauges.
+type Statz struct {
+	Version   string
+	UptimeSec float64
+	Draining  bool
+	// Running and Queued are the scheduler's live gauges; Arrived and
+	// DrainRejected its counters (DrainRejected counts admissions
+	// refused because the server was draining — kept out of Rejected
+	// so shutdown does not pollute the rejection stats).
+	Running       int
+	Queued        int
+	Arrived       int64
+	DrainRejected int64
+	// NumTuples is the lineitem row count, the bound clients draw
+	// Lo/Hi ranges against; Tenants the configured fairness domains.
+	NumTuples int64
+	Tenants   int
+	Stats     ServeStats
+}

@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestDurationRoundTrip(t *testing.T) {
+	b, err := json.Marshal(Duration(250 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"250ms"` {
+		t.Errorf("marshal = %s, want \"250ms\"", b)
+	}
+	var d Duration
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(d) != 250*time.Millisecond {
+		t.Errorf("round trip = %v", time.Duration(d))
+	}
+}
+
+func TestDurationAcceptsNanoseconds(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte("1500000"), &d); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(d) != 1500*time.Microsecond {
+		t.Errorf("numeric unmarshal = %v", time.Duration(d))
+	}
+	if err := json.Unmarshal([]byte(`"not a duration"`), &d); err == nil {
+		t.Error("bad duration string: want error")
+	}
+}
+
+// TestQueryRequestDecode covers the hand-written-curl shape: sparse
+// fields, a string deadline, an explicit predicate.
+func TestQueryRequestDecode(t *testing.T) {
+	body := `{"Kind":"scan","Hi":1000,"Deadline":"2s","Predicate":{"Col":"l_shipdate","Lo":10,"Hi":20}}`
+	var req QueryRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind != KindScan || req.Hi != 1000 || req.Tenant != nil {
+		t.Errorf("decoded %+v", req)
+	}
+	if time.Duration(req.Deadline) != 2*time.Second {
+		t.Errorf("Deadline = %v", time.Duration(req.Deadline))
+	}
+	if req.Predicate == nil || req.Predicate.Col != "l_shipdate" || req.Predicate.Hi != 20 {
+		t.Errorf("Predicate = %+v", req.Predicate)
+	}
+}
+
+// TestQueryRequestOmitEmpty: a zero request marshals to "{}" so request
+// logs and examples stay terse.
+func TestQueryRequestOmitEmpty(t *testing.T) {
+	b, err := json.Marshal(QueryRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "{}" {
+		t.Errorf("zero request = %s, want {}", b)
+	}
+}
