@@ -275,7 +275,9 @@ func printAblation(rows []scanshare.AblationRow, tsv bool) {
 // throughput, latency percentiles, the lifecycle outcome shares (to% =
 // deadline kills, can% = client cancels, as fractions of arrivals), SLO
 // attainment, the per-tenant p95/SLO breakdown, the zone-map skip rate,
-// and the achieved aggregate read bandwidth; shard counts, device counts, admission policies and
+// the achieved aggregate read bandwidth, and — on mixed read/write cells
+// (-writefrac) — the write throughput, completed checkpoint/merge count
+// and the p95 of reads overlapping a merge window; shard counts, device counts, admission policies and
 // selectivities of the same cell print adjacent so all four effects read
 // off directly. CScan rows print "-" for shards (the ABM replaces the
 // page pool).
@@ -288,20 +290,22 @@ func printServe(rows []scanshare.ServeRow, real, tsv bool) {
 		return strconv.Itoa(r.Shards)
 	}
 	if tsv {
-		fmt.Printf("rate_qps\tmpl\tpolicy\tadmission\tpool_shards\tdevices\tiosched\ttier\tselectivity\tcompleted\trejected\ttimedout_pct\tcancelled_pct\tthroughput_qps\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\ttenant_p95_ms\ttenant_slo_pct\tskip_pct\tio_mb\tread_mbps\tseeks\tskew\n")
+		fmt.Printf("rate_qps\tmpl\tpolicy\tadmission\tpool_shards\tdevices\tiosched\ttier\tselectivity\tcompleted\trejected\ttimedout_pct\tcancelled_pct\tthroughput_qps\twrites\twr_qps\tcheckpoints\tmerge_p95_ms\tp50_ms\tp95_ms\tp99_ms\tqwait_p95_ms\tslo_pct\ttenant_p95_ms\ttenant_slo_pct\tskip_pct\tio_mb\tread_mbps\tseeks\tskew\n")
 		for _, r := range rows {
-			fmt.Printf("%g\t%d\t%s\t%s\t%s\t%d\t%s\t%s\t%g\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%s\t%s\t%.1f\t%.1f\t%.1f\t%d\t%.2f\n",
+			fmt.Printf("%g\t%d\t%s\t%s\t%s\t%d\t%s\t%s\t%g\t%d\t%d\t%.1f\t%.1f\t%.1f\t%d\t%.1f\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%s\t%s\t%.1f\t%.1f\t%.1f\t%d\t%.2f\n",
 				r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.IOSched, r.Tier, r.Selectivity, r.Completed, r.Rejected, r.ToPct, r.CanPct, r.Throughput,
+				r.Writes, r.WrQps, r.Checkpoints, r.MergeP95ms,
 				r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct,
 				joinFloats(r.TenantP95ms, "%.3f"), joinFloats(r.TenantSLOPct, "%.1f"), r.SkipPct, r.IOMB, r.ReadMBps, r.Seeks, r.Skew)
 		}
 		return
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "rate/stream\tMPL\tpolicy\tadmit\tshards\tdevs\tiosched\ttier\tsel\tdone\trej\tto%\tcan%\tthru (q/s)\tp50\tp95\tp99\tqwait p95\tSLO %\tp95/tenant\tSLO %/tenant\tskip%\tI/O MB\trd MB/s\tseeks\tskew")
+	fmt.Fprintln(w, "rate/stream\tMPL\tpolicy\tadmit\tshards\tdevs\tiosched\ttier\tsel\tdone\trej\tto%\tcan%\tthru (q/s)\twr q/s\tckpts\tmrg p95\tp50\tp95\tp99\tqwait p95\tSLO %\tp95/tenant\tSLO %/tenant\tskip%\tI/O MB\trd MB/s\tseeks\tskew")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%s\t%d\t%s\t%s\t%g\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%s\t%s\t%.1f\t%.1f\t%.1f\t%d\t%.2f\n",
+		fmt.Fprintf(w, "%g\t%d\t%s\t%s\t%s\t%d\t%s\t%s\t%g\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.2f\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%s\t%s\t%.1f\t%.1f\t%.1f\t%d\t%.2f\n",
 			r.Rate, r.MPL, r.Policy, r.Admission, shardCol(r), r.Devices, r.IOSched, r.Tier, r.Selectivity, r.Completed, r.Rejected, r.ToPct, r.CanPct, r.Throughput,
+			r.WrQps, r.Checkpoints, r.MergeP95ms,
 			r.P50ms, r.P95ms, r.P99ms, r.QWaitP95ms, r.SLOPct,
 			joinFloats(r.TenantP95ms, "%.2f"), joinFloats(r.TenantSLOPct, "%.0f"), r.SkipPct, r.IOMB, r.ReadMBps, r.Seeks, r.Skew)
 	}

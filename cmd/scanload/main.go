@@ -15,11 +15,17 @@
 // ErrorReply outcome for refused ones, transport errors as client
 // cancels.
 //
+// With -writefrac, that fraction of each stream's queries become
+// updates POSTed to /v1/update (insert/delete/modify in the sweep's
+// default 1:1:2 mix, batch 1-4), admitted by the server through the
+// same scheduler as reads.
+//
 // One knowing divergence from the in-process sweep: the client draws
 // which selectivity a query wants from the mix, but the predicate
 // window's position is drawn server-side (the zone-map domain lives
 // there), so runs with -selectivities consume one fewer rng draw per
-// query than RunServe does. Default runs match exactly.
+// query than RunServe does; update positions and dates are server-side
+// draws the same way. Default runs match exactly.
 //
 // Server-shaping axes (-mpls, -shards, -policies, ...) belong to
 // scanserved and are rejected here.
@@ -78,6 +84,7 @@ func main() {
 		{"weights", len(axes.TenantWeights) > 0},
 		{"queue", axes.QueueDepth != 0},
 		{"clustered", axes.Clustered},
+		{"ckptops", axes.CheckpointOps != 0},
 	} {
 		if ax.set {
 			serverSide = append(serverSide, ax.name)
@@ -147,6 +154,33 @@ func main() {
 						cancelAfter = time.Duration(rng.Float64() * float64(slo))
 					}
 				}
+				// Write coin last, matching RunServe's draw order. The
+				// kind/batch draws mirror the sweep's default update mix
+				// (1:1:2 insert:delete:modify); positions and dates are
+				// drawn server-side, like predicate windows.
+				if axes.WriteFrac > 0 && rng.Float64() < axes.WriteFrac {
+					kind := wire.KindModify
+					switch c := rng.Float64(); {
+					case c < 0.25:
+						kind = wire.KindInsert
+					case c < 0.5:
+						kind = wire.KindDelete
+					}
+					ur := wire.UpdateRequest{
+						Tenant: &tenant,
+						Kind:   kind,
+						Batch:  1 + rng.Intn(4),
+					}
+					if axes.Deadline > 0 {
+						ur.Deadline = wire.Duration(axes.Deadline)
+					}
+					qwg.Add(1)
+					go func() {
+						defer qwg.Done()
+						agg.recordWrite(issueUpdate(client, *addr, ur, doCancel, cancelAfter))
+					}()
+					continue
+				}
 				req := wire.QueryRequest{
 					Tenant: &tenant,
 					Kind:   wire.KindQ6,
@@ -176,8 +210,8 @@ func main() {
 
 	agg.mu.Lock()
 	total := agg.completed + agg.rejected + agg.timedOut + agg.cancelled
-	fmt.Printf("scanload: client   %d queries in %.2fs: completed=%d rejected=%d timedout=%d cancelled=%d rows=%d\n",
-		total, elapsed.Seconds(), agg.completed, agg.rejected, agg.timedOut, agg.cancelled, agg.rows)
+	fmt.Printf("scanload: client   %d queries in %.2fs: completed=%d rejected=%d timedout=%d cancelled=%d rows=%d writes=%d applied=%d\n",
+		total, elapsed.Seconds(), agg.completed, agg.rejected, agg.timedOut, agg.cancelled, agg.rows, agg.writes, agg.applied)
 	fmt.Printf("scanload: client   thr=%.2f q/s  p50=%s p95=%s p99=%s\n",
 		float64(agg.completed)/elapsed.Seconds(),
 		time.Duration(scanshare.Percentile(agg.lats, 50)).Round(time.Millisecond),
@@ -192,9 +226,10 @@ func main() {
 	}
 	row := final.Stats
 	row.Rate = rate
-	fmt.Printf("scanload: server   completed=%d rejected=%d timedout=%d cancelled=%d thr=%.2f q/s  p50=%.1fms p95=%.1fms p99=%.1fms qwait95=%.1fms slo%%=%.1f\n",
+	fmt.Printf("scanload: server   completed=%d rejected=%d timedout=%d cancelled=%d thr=%.2f q/s  wr=%d wrthr=%.2f q/s ckpts=%d mrg95=%.1fms  p50=%.1fms p95=%.1fms p99=%.1fms qwait95=%.1fms slo%%=%.1f\n",
 		row.Completed, row.Rejected, row.TimedOut, row.Cancelled,
-		row.Throughput, row.P50ms, row.P95ms, row.P99ms, row.QWaitP95ms, row.SLOPct)
+		row.Throughput, row.Writes, row.WrQps, row.Checkpoints, row.MergeP95ms,
+		row.P50ms, row.P95ms, row.P99ms, row.QWaitP95ms, row.SLOPct)
 	if axes.JSONOut != "" {
 		b, err := json.MarshalIndent([]wire.ServeStats{row}, "", "  ")
 		if err == nil {
@@ -215,6 +250,8 @@ type aggregate struct {
 	timedOut  int64
 	cancelled int64
 	rows      int64
+	writes    int64 // update queries completed (a subset of completed)
+	applied   int64 // delta operations those updates committed
 	lats      []sim.Duration
 }
 
@@ -239,10 +276,24 @@ func (a *aggregate) record(r result) {
 	}
 }
 
+// recordWrite buckets one update outcome into the same ledger as reads
+// (the server's scheduler counts writes in Completed too), tracking the
+// write-specific tallies alongside.
+func (a *aggregate) recordWrite(r result) {
+	a.record(r)
+	if r.outcome == wire.OutcomeOK {
+		a.mu.Lock()
+		a.writes++
+		a.applied += r.applied
+		a.mu.Unlock()
+	}
+}
+
 type result struct {
 	outcome string
 	latency time.Duration
 	rows    int64
+	applied int64
 }
 
 // issue posts one query and consumes its NDJSON stream: rows are
@@ -307,6 +358,52 @@ func issue(c *http.Client, base string, qr wire.QueryRequest, doCancel bool, can
 		return result{outcome: wire.OutcomeClientCancel, latency: lat, rows: rows}
 	}
 	return result{outcome: trailer.Outcome, latency: lat, rows: rows}
+}
+
+// issueUpdate posts one update query and decodes its UpdateResult. A
+// doCancel update abandons its request cancelAfter after issue — if it
+// is still queued at the server, the disconnect cancels it there.
+func issueUpdate(c *http.Client, base string, ur wire.UpdateRequest, doCancel bool, cancelAfter time.Duration) result {
+	start := time.Now()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if doCancel {
+		t := time.AfterFunc(cancelAfter, cancel)
+		defer t.Stop()
+	}
+	body, err := json.Marshal(ur)
+	if err != nil {
+		return result{outcome: "encode-error"}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+wire.PathUpdate, bytes.NewReader(body))
+	if err != nil {
+		return result{outcome: "request-error"}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.Do(req)
+	if err != nil {
+		return result{outcome: wire.OutcomeClientCancel, latency: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er wire.ErrorReply
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		out := er.Outcome
+		if out == "" {
+			out = fmt.Sprintf("http-%d", resp.StatusCode)
+		}
+		return result{outcome: out, latency: time.Since(start)}
+	}
+	var res wire.UpdateResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		// Connection cut before the body: the abandon is the outcome.
+		return result{outcome: wire.OutcomeClientCancel, latency: time.Since(start)}
+	}
+	out := res.Outcome
+	if out == "" {
+		out = wire.OutcomeOK
+	}
+	return result{outcome: out, latency: time.Since(start), applied: int64(res.Applied)}
 }
 
 // fetchStatz reads and decodes the server's /v1/statz snapshot.

@@ -11,6 +11,7 @@
 // Endpoints (see the wire package for the schema):
 //
 //	POST /v1/query   wire.QueryRequest -> NDJSON rows + wire.QueryResult
+//	POST /v1/update  wire.UpdateRequest -> wire.UpdateResult (PDT write path)
 //	GET  /v1/statz   wire.Statz (the live serve-table row)
 //	GET  /healthz    "ok", or 503 "draining" during shutdown
 //
@@ -74,6 +75,7 @@ func main() {
 		{"hotprob", axes.HotProb != 0},
 		{"deadline", axes.Deadline != 0},
 		{"cancel", axes.CancelRate != 0},
+		{"writefrac", axes.WriteFrac != 0},
 		{"json", axes.JSONOut != ""},
 	} {
 		if ax.set {

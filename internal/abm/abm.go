@@ -314,6 +314,18 @@ func (a *ABM) tableMetaFor(snap *storage.Snapshot) *tableMeta {
 	return tm
 }
 
+// InvalidateVersions proactively runs the stale-version housekeeping
+// for t: relevance metadata and cached chunks of versions superseded by
+// current are destroyed as soon as no scan uses them. Checkpoints call
+// it when they retire a snapshot, instead of waiting for the next
+// registration to notice; versions still held by running scans survive
+// until those scans unregister.
+func (a *ABM) InvalidateVersions(t *storage.Table, current int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.dropStaleVersions(t, current)
+}
+
 // dropStaleVersions destroys metadata (and evicts pages) of older
 // versions of the table that no scan uses anymore — the checkpoint
 // housekeeping of §2.1.

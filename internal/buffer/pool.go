@@ -799,6 +799,41 @@ func (p *Pool) Unpin(f *Frame) {
 	}
 }
 
+// InvalidatePages drops the given pages' frames wherever they are
+// resident and unpinned — the chunk-invalidation path a checkpoint runs
+// when it retires a snapshot's pages. Pinned or in-flight frames are
+// left alone: they belong to scans still pinned to the retired
+// snapshot, whose pages are immutable and die by pressure once the
+// scans finish. Returns the number of frames dropped; each freed frame
+// wakes one blocked reservation (see FlushAll for why one each).
+func (p *Pool) InvalidatePages(pages []*storage.Page) int {
+	byShard := make(map[*shard][]*storage.Page)
+	for _, pg := range pages {
+		s := p.shardOf(pg.ID)
+		byShard[s] = append(byShard[s], pg)
+	}
+	dropped := 0
+	for s, pgs := range byShard {
+		s.mu.Lock()
+		freed := 0
+		for _, pg := range pgs {
+			f, ok := s.frames[pg.ID]
+			if !ok || f.Pinned() || f.Loading() {
+				continue
+			}
+			delete(s.frames, pg.ID)
+			s.used -= f.Page.Bytes
+			p.used.Add(-f.Page.Bytes)
+			s.policy.Removed(f)
+			freed++
+		}
+		s.mu.Unlock()
+		s.wakeReservers(freed)
+		dropped += freed
+	}
+	return dropped
+}
+
 // FlushAll drops every unpinned resident page (used between experiment
 // phases to cold-start the cache). Every freed frame wakes one blocked
 // reservation: a single wake-up would strand the rest forever when a

@@ -616,3 +616,38 @@ func TestLoadBatchSplitsAtStripeBoundaries(t *testing.T) {
 		t.Fatalf("single-device requests = %d, want 1 unsplit batch + 1 head page", s1.Requests)
 	}
 }
+
+// TestInvalidatePagesDropsUnpinnedOnly: invalidation evicts resident
+// unpinned frames of the given pages, leaves pinned frames (a running
+// scan over the retired snapshot) and unrelated pages alone, and
+// reports the drop count.
+func TestInvalidatePagesDropsUnpinnedOnly(t *testing.T) {
+	eng, pool, pages := poolFixture(t, NewLRU(), 8, 8)
+	eng.Go("q", func() {
+		pinned := pool.Get(pages[0])
+		for _, pg := range pages[1:4] {
+			pool.Unpin(pool.Get(pg))
+		}
+		// Retire pages 0..3; page 0 is pinned and must survive.
+		if got := pool.InvalidatePages(pages[:4]); got != 3 {
+			t.Errorf("dropped %d frames, want 3", got)
+		}
+		if !pool.Contains(pages[0]) {
+			t.Error("pinned frame was invalidated")
+		}
+		for _, pg := range pages[1:4] {
+			if pool.Contains(pg) {
+				t.Errorf("retired page %v still resident", pg.ID)
+			}
+		}
+		// Invalidating absent pages is a no-op.
+		if got := pool.InvalidatePages(pages[4:]); got != 0 {
+			t.Errorf("dropped %d non-resident frames", got)
+		}
+		pool.Unpin(pinned)
+	})
+	eng.Run()
+	if used := pool.Used(); used != storage.PageSize {
+		t.Fatalf("used = %d, want one resident page", used)
+	}
+}

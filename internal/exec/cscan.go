@@ -72,7 +72,7 @@ func (s *CScan) Open() {
 		panic("exec: CScan requires an ABM in the context")
 	}
 	s.out = NewBatch(s.Schema())
-	s.Ranges = s.Ctx.pruneScanRanges(s.Snap, s.Ranges, s.Pred, s.PDT != nil)
+	s.Ranges = s.Ctx.pruneScanRanges(s.Snap, s.Ranges, s.Pred, s.PDT)
 	total := s.Snap.NumTuples()
 	if s.PDT != nil {
 		total = s.PDT.NumTuples()

@@ -82,7 +82,7 @@ func (s *Scan) Open() {
 	}
 	s.opened = true
 	s.out = NewBatch(s.Schema())
-	s.Ranges = s.Ctx.pruneScanRanges(s.Snap, s.Ranges, s.Pred, s.PDT != nil)
+	s.Ranges = s.Ctx.pruneScanRanges(s.Snap, s.Ranges, s.Pred, s.PDT)
 	total := s.Snap.NumTuples()
 	if s.PDT != nil {
 		total = s.PDT.NumTuples()

@@ -1,10 +1,12 @@
 package exec
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/minmax"
+	"repro/internal/pdt"
 	"repro/internal/storage"
 )
 
@@ -64,6 +66,32 @@ func (z *ZoneMaps) Lookup(snap *storage.Snapshot, col int) *minmax.Index {
 	return ix
 }
 
+// Drop evicts every index summarizing snap. Checkpoints call it as the
+// snapshot retires — the registry is keyed by snapshot pointer, so a
+// long-lived server would otherwise leak one index set per checkpoint.
+// It returns the column indexes that were registered so the caller can
+// rebuild them over the replacement snapshot.
+func (z *ZoneMaps) Drop(snap *storage.Snapshot) []int {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	var cols []int
+	for k := range z.idx {
+		if k.snap == snap {
+			cols = append(cols, k.col)
+			delete(z.idx, k)
+		}
+	}
+	sort.Ints(cols)
+	return cols
+}
+
+// Len returns the number of registered indexes (tests and leak checks).
+func (z *ZoneMaps) Len() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return len(z.idx)
+}
+
 // SkipStats accumulates zone-map pruning counters across a run's scans
 // (atomics: real-mode scans run on concurrent goroutines).
 type SkipStats struct {
@@ -87,10 +115,20 @@ func (s *SkipStats) Counts() (requested, skipped int64) {
 // coalesced per zone block). It is the single pruning site both scan
 // operators call at Open: everything downstream — ABM chunk interest,
 // PBM page registration, read-ahead runs, admission-cost accounting —
-// sees only the survivors. Scans over pending updates (non-nil PDT) are
-// never pruned: the zone maps summarize stable storage only.
-func (c *Ctx) pruneScanRanges(snap *storage.Snapshot, ranges []RIDRange, pred *ScanPredicate, hasPDT bool) []RIDRange {
-	if pred == nil || hasPDT || c.Zones == nil {
+// sees only the survivors.
+//
+// A scan over pending updates (non-nil deltas) prunes through
+// delta-widened bounds: the zone maps summarize stable storage only, so
+// each requested RID range is decomposed into the delta's merge
+// segments. Stable runs prune in SID space through the index, except
+// that a modification on the predicate column carrying an in-range
+// value forces its tuple back in (the block's recorded bounds no longer
+// cover it); inserted runs survive iff any inserted row matches.
+// Deleted tuples are already absent from the segments. Skipping thus
+// stays sound — no pruned tuple could have matched — and stays active
+// under writes instead of degrading to a full scan.
+func (c *Ctx) pruneScanRanges(snap *storage.Snapshot, ranges []RIDRange, pred *ScanPredicate, deltas *pdt.PDT) []RIDRange {
+	if pred == nil || c.Zones == nil {
 		return ranges
 	}
 	ix := c.Zones.Lookup(snap, pred.Col)
@@ -101,13 +139,92 @@ func (c *Ctx) pruneScanRanges(snap *storage.Snapshot, ranges []RIDRange, pred *S
 	var requested, surviving int64
 	for _, r := range ranges {
 		requested += r.Hi - r.Lo
-		for _, kr := range ix.PruneRange(r.Lo, r.Hi, pred.Lo, pred.Hi) {
-			out = append(out, RIDRange{Lo: kr.Lo, Hi: kr.Hi})
+		var kept []RIDRange
+		if deltas == nil {
+			for _, kr := range ix.PruneRange(r.Lo, r.Hi, pred.Lo, pred.Hi) {
+				kept = append(kept, RIDRange{Lo: kr.Lo, Hi: kr.Hi})
+			}
+		} else {
+			kept = pruneDeltaRange(ix, r, pred, deltas)
+		}
+		for _, kr := range kept {
 			surviving += kr.Hi - kr.Lo
 		}
+		out = appendCoalesced(out, kept)
 	}
 	if c.Skip != nil {
 		c.Skip.add(requested, requested-surviving)
+	}
+	return out
+}
+
+// pruneDeltaRange prunes one requested RID range of a merged
+// (stable+PDT) image, returning surviving RID subranges in order.
+func pruneDeltaRange(ix *minmax.Index, r RIDRange, pred *ScanPredicate, deltas *pdt.PDT) []RIDRange {
+	var kept []RIDRange
+	rid := r.Lo
+	for _, seg := range deltas.SegmentsRID(r.Lo, r.Hi) {
+		switch seg.Kind {
+		case pdt.SegStable:
+			// Prune the stable SID run through the index, then force back
+			// any tuple whose predicate-column modification moved it into
+			// range: the block bounds were recorded before the mod.
+			sids := ix.PruneRange(seg.Lo, seg.Hi, pred.Lo, pred.Hi)
+			for sid, mods := range seg.Mods {
+				v, ok := mods[pred.Col]
+				if !ok || v.T != storage.Int64 || v.I64 < pred.Lo || v.I64 > pred.Hi {
+					continue
+				}
+				sids = append(sids, minmax.Range{Lo: sid, Hi: sid + 1})
+			}
+			sort.Slice(sids, func(i, j int) bool { return sids[i].Lo < sids[j].Lo })
+			base := rid - seg.Lo // SID -> RID offset within this run
+			for _, sr := range sids {
+				kr := RIDRange{Lo: base + sr.Lo, Hi: base + sr.Hi}
+				if n := len(kept); n > 0 && kept[n-1].Hi >= kr.Lo {
+					if kr.Hi > kept[n-1].Hi {
+						kept[n-1].Hi = kr.Hi
+					}
+					continue
+				}
+				kept = append(kept, kr)
+			}
+			rid += seg.Hi - seg.Lo
+		case pdt.SegInsert:
+			// Inserted rows live in the PDT, not under the zone map: keep
+			// the run iff any row can match the predicate.
+			match := false
+			for _, row := range seg.Rows {
+				if v := row[pred.Col]; v.T == storage.Int64 && v.I64 >= pred.Lo && v.I64 <= pred.Hi {
+					match = true
+					break
+				}
+			}
+			if match {
+				kr := RIDRange{Lo: rid, Hi: rid + int64(len(seg.Rows))}
+				if n := len(kept); n > 0 && kept[n-1].Hi == kr.Lo {
+					kept[n-1].Hi = kr.Hi
+				} else {
+					kept = append(kept, kr)
+				}
+			}
+			rid += int64(len(seg.Rows))
+		}
+	}
+	return kept
+}
+
+// appendCoalesced appends ranges to out, merging a run that abuts or
+// overlaps out's tail.
+func appendCoalesced(out, add []RIDRange) []RIDRange {
+	for _, kr := range add {
+		if n := len(out); n > 0 && out[n-1].Hi >= kr.Lo {
+			if kr.Hi > out[n-1].Hi {
+				out[n-1].Hi = kr.Hi
+			}
+			continue
+		}
+		out = append(out, kr)
 	}
 	return out
 }

@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pdt"
+)
+
+// coveredBy reports whether rid falls inside one of the ranges.
+func coveredBy(ranges []RIDRange, rid int64) bool {
+	for _, r := range ranges {
+		if rid >= r.Lo && rid < r.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPruneDeltaWidenedSoundAndActive: pruning over uncheckpointed
+// deltas must keep every RID whose merged value matches the predicate
+// (soundness) while still discarding provably-excluded stable blocks
+// (the pre-refactor behavior was a full-scan fallback).
+func TestPruneDeltaWidenedSoundAndActive(t *testing.T) {
+	const n = 1000
+	e := newEnv(t, n, false)
+	e.ctx.Zones = NewZoneMaps()
+	e.ctx.Zones.Build(e.snap, 0, 100)
+	e.ctx.Skip = &SkipStats{}
+	pred := &ScanPredicate{Col: 0, Lo: 200, Hi: 299}
+
+	p := pdt.New(e.snap.Table().Schema, n)
+	// A mod far outside the predicate's blocks moves a tuple INTO range:
+	// its block must come back in.
+	p.ModifyAt(950, 0, pdt.IntVal(250))
+	// A mod taking a tuple OUT of range: keeping its block stays sound.
+	p.ModifyAt(210, 0, pdt.IntVal(-1))
+	// An in-range insert in an otherwise prunable region, and an
+	// out-of-range insert that must not resurrect its region.
+	p.InsertAt(600, pdt.Row{pdt.IntVal(222), pdt.FloatVal(0), pdt.StrVal("Z")})
+	p.InsertAt(0, pdt.Row{pdt.IntVal(5000), pdt.FloatVal(0), pdt.StrVal("Z")})
+	// Deletes shift every later RID by one.
+	p.DeleteAt(3)
+
+	total := p.NumTuples()
+	got := e.ctx.pruneScanRanges(e.snap, []RIDRange{{0, total}}, pred, p)
+
+	img := p.Image(e.snap).I64[0]
+	var matches, kept int64
+	for rid, v := range img {
+		if v >= pred.Lo && v <= pred.Hi {
+			matches++
+			if !coveredBy(got, int64(rid)) {
+				t.Fatalf("matching rid %d (value %d) pruned away; ranges %v", rid, v, got)
+			}
+		}
+	}
+	for _, r := range got {
+		kept += r.Hi - r.Lo
+	}
+	if matches == 0 {
+		t.Fatal("fixture has no matches")
+	}
+	if kept >= total {
+		t.Fatalf("pruning inactive under deltas: kept %d of %d", kept, total)
+	}
+	req, skipped := e.ctx.Skip.Counts()
+	if req != total || skipped != total-kept {
+		t.Fatalf("skip counters %d/%d, want %d/%d", skipped, req, total-kept, total)
+	}
+}
+
+// TestPruneDeltaRandomized cross-checks delta-widened pruning against
+// the materialized image over random update batches and predicate
+// windows: no matching tuple may ever be pruned.
+func TestPruneDeltaRandomized(t *testing.T) {
+	const n = 2000
+	e := newEnv(t, n, false)
+	e.ctx.Zones = NewZoneMaps()
+	e.ctx.Zones.Build(e.snap, 0, 128)
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		p := pdt.New(e.snap.Table().Schema, n)
+		for i := 0; i < 30; i++ {
+			rid := rng.Int63n(p.NumTuples())
+			switch rng.Intn(3) {
+			case 0:
+				p.InsertAt(rid, pdt.Row{pdt.IntVal(rng.Int63n(2 * n)), pdt.FloatVal(0), pdt.StrVal("x")})
+			case 1:
+				p.DeleteAt(rid)
+			case 2:
+				p.ModifyAt(rid, 0, pdt.IntVal(rng.Int63n(2*n)))
+			}
+		}
+		lo := rng.Int63n(n)
+		pred := &ScanPredicate{Col: 0, Lo: lo, Hi: lo + rng.Int63n(300)}
+		total := p.NumTuples()
+		got := e.ctx.pruneScanRanges(e.snap, []RIDRange{{0, total}}, pred, p)
+		for rid, v := range p.Image(e.snap).I64[0] {
+			if v >= pred.Lo && v <= pred.Hi && !coveredBy(got, int64(rid)) {
+				t.Fatalf("iter %d: matching rid %d (value %d) pruned; pred [%d,%d]",
+					iter, rid, v, pred.Lo, pred.Hi)
+			}
+		}
+		// Ranges must be sorted, non-overlapping, in bounds.
+		for i, r := range got {
+			if r.Lo >= r.Hi || r.Lo < 0 || r.Hi > total {
+				t.Fatalf("iter %d: bad range %v", iter, r)
+			}
+			if i > 0 && got[i-1].Hi > r.Lo {
+				t.Fatalf("iter %d: overlapping ranges %v", iter, got)
+			}
+		}
+	}
+}
+
+// TestZoneMapsDropEvictsRetiredSnapshot: dropping a snapshot removes
+// every column index registered for it — and only those — reporting
+// which columns to rebuild.
+func TestZoneMapsDropEvictsRetiredSnapshot(t *testing.T) {
+	a := newEnv(t, 100, false)
+	b := newEnv(t, 100, false)
+	z := NewZoneMaps()
+	z.Build(a.snap, 0, 50)
+	z.Build(a.snap, 1, 50)
+	z.Build(b.snap, 0, 50)
+	if z.Len() != 3 {
+		t.Fatalf("len = %d", z.Len())
+	}
+	cols := z.Drop(a.snap)
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 1 {
+		t.Fatalf("dropped cols %v, want [0 1]", cols)
+	}
+	if z.Lookup(a.snap, 0) != nil || z.Lookup(a.snap, 1) != nil {
+		t.Fatal("retired snapshot still resolves")
+	}
+	if z.Lookup(b.snap, 0) == nil || z.Len() != 1 {
+		t.Fatal("live snapshot was evicted")
+	}
+	if got := z.Drop(a.snap); got != nil {
+		t.Fatalf("double drop returned %v", got)
+	}
+}

@@ -3,6 +3,7 @@ package pdt
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/storage"
 )
@@ -13,18 +14,36 @@ import (
 // shared write-PDT stacked on it, and one private trans-PDT per
 // transaction on top. Only the topmost layer is copied per transaction,
 // so the memory cost of snapshot isolation stays low.
+//
+// All methods are safe for concurrent use: shared-layer state is behind
+// an ordinary mutex (uncontended under the cooperatively-scheduled sim
+// runtime, real protection under the threaded runtime), so Commit can
+// race Checkpoint from server handler goroutines. A Tx itself remains
+// single-goroutine private, as in Vectorwise.
 type Store struct {
-	table  *storage.Table
-	stable *storage.Snapshot
-	read   *PDT // bottom shared layer (vs stable)
-	write  *PDT // middle shared layer (vs read's image)
-	epoch  int64
+	mu      sync.Mutex
+	table   *storage.Table
+	stable  *storage.Snapshot
+	read    *PDT // bottom shared layer (vs stable)
+	write   *PDT // middle shared layer (vs read's image)
+	epoch   int64
+	pending int64 // committed update ops not yet checkpointed
+	onCkpt  func(old, new *storage.Snapshot)
 }
 
 // NewStore creates a store over the table's current master snapshot with
 // empty PDT layers.
 func NewStore(t *storage.Table) *Store {
-	stable := t.Master()
+	return NewStoreAt(t.Master())
+}
+
+// NewStoreAt creates a store anchored at an explicit committed snapshot
+// of the table. A serving engine whose catalog caches the loaded
+// snapshot anchors here, so its zone maps, pricing and store all agree
+// on the same base even if an earlier run already checkpointed the
+// table past it.
+func NewStoreAt(stable *storage.Snapshot) *Store {
+	t := stable.Table()
 	read := New(t.Schema, stable.NumTuples())
 	return &Store{
 		table:  t,
@@ -34,11 +53,70 @@ func NewStore(t *storage.Table) *Store {
 	}
 }
 
-// Stable returns the underlying stable snapshot.
-func (s *Store) Stable() *storage.Snapshot { return s.stable }
+// Stable returns the current stable snapshot.
+func (s *Store) Stable() *storage.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stable
+}
 
 // NumTuples returns the tuple count of the committed image.
-func (s *Store) NumTuples() int64 { return s.write.NumTuples() }
+func (s *Store) NumTuples() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.write.NumTuples()
+}
+
+// Version returns the commit epoch: it advances on every committed
+// transaction, write-to-read propagation and checkpoint, so two equal
+// versions bracket an unchanged committed image.
+func (s *Store) Version() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Pending returns the number of committed update operations not yet
+// migrated to a stable version — the quantity checkpoint trigger
+// policies watch.
+func (s *Store) Pending() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}
+
+// View is one query's pinned view of the table: the stable snapshot and
+// a private flattened delta the query scans through, plus the commit
+// epoch they were taken at. The snapshot is immutable and the delta is
+// a clone, so a checkpoint or commit racing the query can never tear
+// it; Deltas is nil when the view carries no uncheckpointed changes
+// (scans then take the exact read-only fast path).
+type View struct {
+	Stable  *storage.Snapshot
+	Deltas  *PDT
+	Version int64
+}
+
+// NumTuples returns the tuple count of the viewed image.
+func (v View) NumTuples() int64 {
+	if v.Deltas != nil {
+		return v.Deltas.NumTuples()
+	}
+	return v.Stable.NumTuples()
+}
+
+// View atomically pins the committed image: (snapshot, PDT-version)
+// taken under one critical section, so a concurrent checkpoint can
+// never pair the new snapshot with the old deltas or vice versa.
+func (s *Store) View() View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := View{Stable: s.stable, Version: s.epoch}
+	if !s.read.Empty() || !s.write.Empty() {
+		v.Deltas = s.flattenedLocked(nil)
+	}
+	return v
+}
 
 // Tx is a snapshot-isolated transaction: it sees the committed image as of
 // Begin plus its own private changes.
@@ -46,11 +124,18 @@ type Tx struct {
 	store *Store
 	trans *PDT // private top layer (vs the write layer's image at Begin)
 	epoch int64
+	ops   int64
 	done  bool
 }
 
 // Begin starts a transaction.
 func (s *Store) Begin() *Tx {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.beginLocked()
+}
+
+func (s *Store) beginLocked() *Tx {
 	return &Tx{
 		store: s,
 		trans: New(s.table.Schema, s.write.NumTuples()),
@@ -62,13 +147,13 @@ func (s *Store) Begin() *Tx {
 func (tx *Tx) NumTuples() int64 { return tx.trans.NumTuples() }
 
 // Insert inserts a row at RID rid of the transaction's image.
-func (tx *Tx) Insert(rid int64, row Row) { tx.trans.InsertAt(rid, row) }
+func (tx *Tx) Insert(rid int64, row Row) { tx.trans.InsertAt(rid, row); tx.ops++ }
 
 // Delete removes the tuple at RID rid of the transaction's image.
-func (tx *Tx) Delete(rid int64) { tx.trans.DeleteAt(rid) }
+func (tx *Tx) Delete(rid int64) { tx.trans.DeleteAt(rid); tx.ops++ }
 
 // Modify updates one column of the tuple at RID rid.
-func (tx *Tx) Modify(rid int64, col int, v Value) { tx.trans.ModifyAt(rid, col, v) }
+func (tx *Tx) Modify(rid int64, col int, v Value) { tx.trans.ModifyAt(rid, col, v); tx.ops++ }
 
 // ErrTxConflict reports a write-write conflict under first-committer-wins.
 var ErrTxConflict = errors.New("pdt: transaction conflict: table was updated concurrently")
@@ -78,6 +163,12 @@ var ErrTxConflict = errors.New("pdt: transaction conflict: table was updated con
 // transaction committed to this store since Begin, the positions in the
 // trans-PDT may be stale and the transaction aborts.
 func (tx *Tx) Commit() error {
+	tx.store.mu.Lock()
+	defer tx.store.mu.Unlock()
+	return tx.commitLocked()
+}
+
+func (tx *Tx) commitLocked() error {
 	if tx.done {
 		return errors.New("pdt: transaction already finished")
 	}
@@ -90,39 +181,61 @@ func (tx *Tx) Commit() error {
 	}
 	tx.store.write.Propagate(tx.trans)
 	tx.store.epoch++
+	tx.store.pending += tx.ops
 	return nil
 }
 
 // Abort discards the transaction.
 func (tx *Tx) Abort() { tx.done = true }
 
+// Update runs f inside a single-statement transaction and commits it —
+// begin, apply and commit form one critical section, so the commit can
+// never lose first-committer-wins to a concurrent transaction. This is
+// the serving write path's auto-commit; longer-lived transactions use
+// Begin/Commit and handle ErrTxConflict themselves.
+func (s *Store) Update(f func(*Tx) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx := s.beginLocked()
+	if err := f(tx); err != nil {
+		tx.done = true
+		return err
+	}
+	return tx.commitLocked()
+}
+
 // Image materializes the transaction's visible table image (committed
 // state at Begin plus private changes).
 func (tx *Tx) Image() *storage.ColumnData {
-	return tx.store.imageWith(tx.trans)
+	tx.store.mu.Lock()
+	defer tx.store.mu.Unlock()
+	return tx.store.imageWithLocked(tx.trans)
 }
 
 // ImageCommitted materializes the currently committed image.
 func (s *Store) ImageCommitted() *storage.ColumnData {
-	return s.imageWith(nil)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.imageWithLocked(nil)
 }
 
-// imageWith flattens stable + read + write (+ optional trans) into column
-// data. Layers are composed by cloning and propagating, which keeps the
-// shared layers untouched.
-func (s *Store) imageWith(trans *PDT) *storage.ColumnData {
-	flat := s.read.Clone()
-	flat.Propagate(s.write)
-	if trans != nil && !trans.Empty() {
-		flat.Propagate(trans)
-	}
-	return flat.Image(s.stable)
+// imageWithLocked flattens stable + read + write (+ optional trans) into
+// column data. Layers are composed by cloning and propagating, which
+// keeps the shared layers untouched.
+func (s *Store) imageWithLocked(trans *PDT) *storage.ColumnData {
+	return s.flattenedLocked(trans).Image(s.stable)
 }
 
 // Flattened returns a single PDT equivalent to the composed shared layers
 // plus the optional trans layer; scan operators use it as the merge plan
 // source for one query's snapshot.
 func (s *Store) Flattened(trans *PDT) *PDT {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flattenedLocked(trans)
+}
+
+func (s *Store) flattenedLocked(trans *PDT) *PDT {
 	flat := s.read.Clone()
 	flat.Propagate(s.write)
 	if trans != nil && !trans.Empty() {
@@ -135,6 +248,8 @@ func (s *Store) Flattened(trans *PDT) *PDT {
 // (the background maintenance Vectorwise performs as the write-PDT
 // grows).
 func (s *Store) PropagateWriteToRead() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.write.Empty() {
 		return
 	}
@@ -143,12 +258,28 @@ func (s *Store) PropagateWriteToRead() {
 	s.epoch++
 }
 
+// SetCheckpointHook registers fn to run inside every successful
+// Checkpoint with the retired and replacement snapshots, before any new
+// view of the replacement can be minted. The serving layers hang chunk
+// invalidation here: buffer frames, zone maps and relevance state keyed
+// by the retired snapshot are dropped or rebuilt. fn runs with the
+// store's mutex held and must not call back into the store.
+func (s *Store) SetCheckpointHook(fn func(old, new *storage.Snapshot)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onCkpt = fn
+}
+
 // Checkpoint migrates all PDT contents to disk, creating a new stable
 // table version with fresh pages (§2.1, Figure 7), and resets the layers.
-// Readers holding the old snapshot keep working; new transactions see the
-// new version.
+// Readers holding a view of the old snapshot keep working — their delta
+// clones and the retired snapshot are immutable; new views see the new
+// version with empty deltas.
 func (s *Store) Checkpoint() (*storage.Snapshot, error) {
-	data := s.ImageCommitted()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.stable
+	data := s.imageWithLocked(nil)
 	snap, err := s.table.Checkpoint(data)
 	if err != nil {
 		return nil, fmt.Errorf("pdt: checkpoint: %w", err)
@@ -157,5 +288,9 @@ func (s *Store) Checkpoint() (*storage.Snapshot, error) {
 	s.read = New(s.table.Schema, snap.NumTuples())
 	s.write = New(s.table.Schema, s.read.NumTuples())
 	s.epoch++
+	s.pending = 0
+	if s.onCkpt != nil {
+		s.onCkpt(old, snap)
+	}
 	return snap, nil
 }

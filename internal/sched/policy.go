@@ -341,6 +341,11 @@ func (s *Scheduler) TenantStats(minTenants int) []TenantStat {
 	lats := map[int][]sim.Duration{}
 	met := map[int]int64{}
 	for _, q := range s.completed {
+		if q.Write {
+			// Per-tenant fairness columns compare scan latencies; write
+			// completions live in Stats.WriteCompleted.
+			continue
+		}
 		lats[q.Tenant] = append(lats[q.Tenant], q.Latency())
 		if s.cfg.SLO <= 0 || q.Latency() <= s.cfg.SLO {
 			met[q.Tenant]++

@@ -79,6 +79,9 @@ type QueryStat struct {
 	Arrive, Admit, Finish sim.Time
 	// Cause is why the query died (rt.CauseNone for completed queries).
 	Cause rt.CancelCause
+	// Write marks an update query (admitted through the same policies as
+	// reads, reported separately).
+	Write bool
 }
 
 // QueueWait is the time the query spent in the admission queue.
@@ -149,8 +152,13 @@ type Query struct {
 	Tenant int
 	// Cost is the query's expected work in seconds of expected execution
 	// time — the exec/pbm cost hook supplies it from table size and scan
-	// speed estimates. Only cost-aware policies (sesf) consult it.
+	// speed estimates; update queries are priced by delta size. Only
+	// cost-aware policies (sesf) consult it.
 	Cost float64
+	// Write marks an update query. Writes share the admission policies,
+	// queue and MPL with reads; the flag only routes their completions
+	// into the write-throughput accounting.
+	Write bool
 	// Ctx is the query's lifecycle handle: a query cancelled while queued
 	// is dropped instead of admitted, and a queued query whose deadline
 	// passes is dropped with rt.CauseAdmissionTimeout. Nil disables
@@ -166,6 +174,7 @@ type Query struct {
 type Ticket struct {
 	s                   *Scheduler
 	stream, seq, tenant int
+	write               bool
 	arrive              sim.Time
 	admit               sim.Time
 	qctx                *rt.QueryCtx
@@ -272,7 +281,7 @@ func (s *Scheduler) AdmitQueryOutcome(q Query) (*Ticket, AdmitOutcome) {
 		return nil, AdmitDraining
 	}
 	s.arrived++
-	t := &Ticket{s: s, stream: q.Stream, seq: q.Seq, tenant: q.Tenant, arrive: s.r.Now(), qctx: q.Ctx}
+	t := &Ticket{s: s, stream: q.Stream, seq: q.Seq, tenant: q.Tenant, write: q.Write, arrive: s.r.Now(), qctx: q.Ctx}
 	if s.running < s.cfg.MPL {
 		s.running++
 		t.admit = t.arrive
@@ -433,6 +442,7 @@ func (t *Ticket) Done() {
 	s.completed = append(s.completed, QueryStat{
 		Stream: t.stream, Seq: t.seq, Tenant: t.tenant,
 		Arrive: t.arrive, Admit: t.admit, Finish: s.r.Now(),
+		Write: t.write,
 	})
 	s.releaseSlotLocked()
 }
@@ -455,7 +465,7 @@ func (t *Ticket) Cancel(cause rt.CancelCause) {
 	s.killed = append(s.killed, QueryStat{
 		Stream: t.stream, Seq: t.seq, Tenant: t.tenant,
 		Arrive: t.arrive, Admit: t.admit, Finish: s.r.Now(),
-		Cause: cause,
+		Cause: cause, Write: t.write,
 	})
 	s.releaseSlotLocked()
 }
@@ -587,21 +597,29 @@ func distOf(ds []sim.Duration) LatencyDist {
 
 // Stats is the aggregate serving report of a scheduler run.
 type Stats struct {
-	// Arrived counts every admission request; Completed and Rejected
-	// partition the ones that have finished or been turned away.
+	// Arrived counts every admission request, reads and writes; Completed
+	// and Rejected partition the ones that have finished or been turned
+	// away (Completed includes completed writes, so the reconciliation
+	// invariant is write-agnostic).
 	Arrived, Completed, Rejected int64
 	// MaxQueueDepth is the high-water mark of the admission queue.
 	MaxQueueDepth int
-	// Latency, QueueWait and Exec summarize the completed queries'
-	// end-to-end latency and its queue/execution split.
+	// Latency, QueueWait and Exec summarize the completed READ queries'
+	// end-to-end latency and its queue/execution split: update queries
+	// are tiny delta appends whose latencies would drown the scan
+	// percentiles the serve table compares across write fractions.
 	Latency, QueueWait, Exec LatencyDist
-	// SLOAttainment is the fraction of completed queries whose
+	// SLOAttainment is the fraction of completed read queries whose
 	// end-to-end latency met the configured SLO (zero SLO => 1).
 	SLOAttainment float64
 	// Makespan is the virtual time at which Stats was taken; Throughput
-	// is completed queries per virtual second over the makespan.
-	Makespan   sim.Time
-	Throughput float64
+	// is completed read queries per virtual second over the makespan and
+	// WriteThroughput the same for update queries (WriteCompleted of
+	// them). All write fields are zero in a read-only run.
+	Makespan        sim.Time
+	Throughput      float64
+	WriteCompleted  int64
+	WriteThroughput float64
 	// TimedOut counts queries killed by their deadline: queue drops with
 	// rt.CauseAdmissionTimeout plus mid-execution expiries with
 	// rt.CauseDeadlineExceeded. Cancelled counts client cancels, queued
@@ -631,15 +649,18 @@ func (s *Scheduler) Stats(now sim.Time) Stats {
 		MaxQueueDepth: s.maxQueue,
 		Makespan:      now,
 	}
-	n := len(s.completed)
-	lat := make([]sim.Duration, n)
-	qw := make([]sim.Duration, n)
-	ex := make([]sim.Duration, n)
+	lat := make([]sim.Duration, 0, len(s.completed))
+	qw := make([]sim.Duration, 0, len(s.completed))
+	ex := make([]sim.Duration, 0, len(s.completed))
 	met := 0
-	for i, q := range s.completed {
-		lat[i] = q.Latency()
-		qw[i] = q.QueueWait()
-		ex[i] = q.ExecTime()
+	for _, q := range s.completed {
+		if q.Write {
+			st.WriteCompleted++
+			continue
+		}
+		lat = append(lat, q.Latency())
+		qw = append(qw, q.QueueWait())
+		ex = append(ex, q.ExecTime())
 		if s.cfg.SLO <= 0 || q.Latency() <= s.cfg.SLO {
 			met++
 		}
@@ -647,11 +668,12 @@ func (s *Scheduler) Stats(now sim.Time) Stats {
 	st.Latency = distOf(lat)
 	st.QueueWait = distOf(qw)
 	st.Exec = distOf(ex)
-	if n > 0 {
+	if n := len(lat); n > 0 {
 		st.SLOAttainment = float64(met) / float64(n)
 	}
 	if sec := now.Seconds(); sec > 0 {
-		st.Throughput = float64(n) / sec
+		st.Throughput = float64(len(lat)) / sec
+		st.WriteThroughput = float64(st.WriteCompleted) / sec
 	}
 	qd := make([]sim.Duration, len(s.dropped))
 	for i, q := range s.dropped {

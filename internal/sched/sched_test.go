@@ -320,3 +320,43 @@ func TestExpInterarrival(t *testing.T) {
 		t.Fatal("zero rate should yield zero gap")
 	}
 }
+
+// TestWriteAdmissionAccounting: update queries share the queue and MPL
+// with reads but complete into the write counters — read latency
+// percentiles, read throughput and per-tenant stats never see them,
+// while Arrived/Completed (and so the reconciliation invariant) count
+// both kinds.
+func TestWriteAdmissionAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	sch := New(rt.Sim(eng), Config{MPL: 2, QueueDepth: -1})
+	eng.Go("w", func() {
+		for i := 0; i < 6; i++ {
+			tk, ok := sch.AdmitQuery(Query{Stream: 0, Seq: i, Write: i%2 == 1})
+			if !ok {
+				t.Errorf("admission %d refused", i)
+				return
+			}
+			eng.Sleep(sim.Duration(1e6))
+			tk.Done()
+		}
+	})
+	eng.Run()
+	st := sch.Stats(eng.Now())
+	if st.Arrived != 6 || st.Completed != 6 {
+		t.Fatalf("arrived %d completed %d, want 6/6", st.Arrived, st.Completed)
+	}
+	if st.WriteCompleted != 3 {
+		t.Fatalf("write completed %d, want 3", st.WriteCompleted)
+	}
+	if st.WriteThroughput <= 0 || st.Throughput <= 0 {
+		t.Fatalf("throughputs %v/%v", st.Throughput, st.WriteThroughput)
+	}
+	// 3 reads of ~1ms each: the read percentiles must not count writes.
+	if st.Latency.P50 <= 0 {
+		t.Fatal("read latency dist empty")
+	}
+	ts := sch.TenantStats(1)
+	if ts[0].Completed != 3 {
+		t.Fatalf("tenant completed %d, want 3 reads", ts[0].Completed)
+	}
+}

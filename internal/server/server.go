@@ -67,6 +67,7 @@ func New(db *tpch.DB, cfg Config) *Server {
 	s := &Server{cfg: cfg, eng: workload.NewServeEngine(db, cfg.Serve)}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc(wire.PathQuery, s.handleQuery)
+	s.mux.HandleFunc(wire.PathUpdate, s.handleUpdate)
 	s.mux.HandleFunc(wire.PathStatz, s.handleStatz)
 	s.mux.HandleFunc(wire.PathHealth, s.handleHealth)
 	return s
@@ -208,17 +209,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Tenant: the connection's round-robin assignment unless the request
-	// pins one; either way reduced into the configured domain count.
-	tenants := s.eng.TenantCount()
-	tenant, _ := r.Context().Value(connIDKey{}).(int)
-	if req.Tenant != nil {
-		tenant = *req.Tenant
-	}
-	tenant %= tenants
-	if tenant < 0 {
-		tenant += tenants
-	}
+	tenant := s.tenantOf(r, req.Tenant)
 
 	rng := s.eng.ClipRange(req.Lo, req.Hi)
 	var pred *exec.ScanPredicate
@@ -306,6 +297,109 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	b, _ := json.Marshal(trailer)
 	w.Write(append(b, '\n'))
+}
+
+// tenantOf resolves a request's fairness domain: the connection's
+// round-robin assignment unless the request pins one explicitly, either
+// way reduced into the configured domain count.
+func (s *Server) tenantOf(r *http.Request, explicit *int) int {
+	tenants := s.eng.TenantCount()
+	tenant, _ := r.Context().Value(connIDKey{}).(int)
+	if explicit != nil {
+		tenant = *explicit
+	}
+	tenant %= tenants
+	if tenant < 0 {
+		tenant += tenants
+	}
+	return tenant
+}
+
+// handleUpdate admits one update query through the same scheduler as
+// reads — delta-size-priced, so sesf/wfq weigh writes against scans —
+// and applies it to the engine's PDT store. The lifecycle binding
+// matches reads: the HTTP context cancels a queued write the moment the
+// client disconnects, and a cancelled write is never applied.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req wire.UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, wire.ErrorReply{Error: "bad request body: " + err.Error()})
+		return
+	}
+	kindName := req.Kind
+	if kindName == "" {
+		kindName = wire.KindModify
+	}
+	kind, err := workload.ParseUpdateKind(kindName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.ErrorReply{Error: err.Error()})
+		return
+	}
+	tenant := s.tenantOf(r, req.Tenant)
+
+	qc := s.eng.NewQueryCtx()
+	if req.Deadline > 0 {
+		qc.SetDeadline(s.eng.Now() + rt.Time(req.Deadline))
+	}
+	stop := context.AfterFunc(r.Context(), func() { qc.Cancel(rt.CauseClientCancel) })
+	defer stop()
+
+	q := sched.Query{
+		Stream: tenant,
+		Seq:    int(s.querySeq.Add(1) - 1),
+		Tenant: tenant,
+		Cost:   s.eng.PriceUpdate(req.Batch),
+		Ctx:    qc,
+		Write:  true,
+	}
+	tk, outcome := s.eng.Admit(q)
+	switch outcome {
+	case sched.AdmitGranted:
+	case sched.AdmitDraining:
+		writeError(w, http.StatusServiceUnavailable, wire.ErrorReply{Error: "server draining", Outcome: wire.OutcomeDraining})
+		return
+	case sched.AdmitRejected:
+		writeError(w, http.StatusServiceUnavailable, wire.ErrorReply{Error: "admission queue full", Outcome: wire.OutcomeRejected})
+		return
+	default: // AdmitDropped: died while queued; the write never applies
+		if qc.Cause() == rt.CauseAdmissionTimeout {
+			writeError(w, http.StatusGatewayTimeout, wire.ErrorReply{Error: "deadline passed in admission queue", Outcome: wire.OutcomeAdmissionTimeout})
+		}
+		// Client-cancel: the connection is gone; nothing to write.
+		return
+	}
+	if qc.Cancelled() {
+		// Granted but already dead (disconnect or deadline raced the
+		// grant): resolve the ticket, skip the write.
+		tk.Cancel(qc.Cause())
+		return
+	}
+
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	applied, version, pending, err := s.eng.ApplyUpdate(kind, req.Batch)
+	tk.Done()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, wire.ErrorReply{Error: err.Error()})
+		return
+	}
+	now := s.eng.Now()
+	res := wire.UpdateResult{
+		Applied:     applied,
+		Tenant:      tenant,
+		Outcome:     wire.OutcomeOK,
+		Version:     version,
+		Pending:     pending,
+		Checkpoints: s.eng.Checkpoints(),
+		LatencyMS:   float64(now-tk.Arrive()) / 1e6,
+		QueueWaitMS: float64(tk.Admit()-tk.Arrive()) / 1e6,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
 }
 
 // batchChunk is one encoded batch in flight between producer and writer.

@@ -303,6 +303,100 @@ func TestSlowReaderBackpressure(t *testing.T) {
 	}
 }
 
+// TestUpdateRoundTrip drives the write path over the socket: updates of
+// every kind are admitted, applied to the PDT store and answered with a
+// versioned UpdateResult; crossing the checkpoint trigger completes a
+// background merge; reads pinned after the updates still stream; and
+// the ledger reconciles with writes counted. A private database keeps
+// the checkpoint's table mutation away from the shared fixture.
+func TestUpdateRoundTrip(t *testing.T) {
+	priv := tpch.Generate(0.01, 2)
+	cfg := Config{Serve: workload.DefaultServeConfig()}
+	cfg.Serve.CheckpointOps = 8
+	srv := New(priv, cfg)
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Config.ConnContext = srv.ConnContext
+	ts.Start()
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	post := func(body string) (wire.UpdateResult, int) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+wire.PathUpdate, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST update: %v", err)
+		}
+		defer resp.Body.Close()
+		var res wire.UpdateResult
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				t.Fatalf("decode UpdateResult: %v", err)
+			}
+		}
+		return res, resp.StatusCode
+	}
+
+	var lastVersion int64
+	for i, body := range []string{
+		`{"Kind":"insert","Batch":3}`,
+		`{"Kind":"modify","Batch":4}`,
+		`{"Kind":"delete","Batch":2}`,
+		`{"Batch":2}`, // kind defaults to modify
+	} {
+		res, code := post(body)
+		if code != http.StatusOK || res.Outcome != wire.OutcomeOK {
+			t.Fatalf("update %d: status %d result %+v", i, code, res)
+		}
+		if res.Applied == 0 {
+			t.Errorf("update %d applied nothing: %+v", i, res)
+		}
+		if res.Version <= lastVersion {
+			t.Errorf("update %d version %d did not advance past %d", i, res.Version, lastVersion)
+		}
+		lastVersion = res.Version
+	}
+
+	if _, code := post(`{"Kind":"upsert"}`); code != http.StatusBadRequest {
+		t.Errorf("unknown kind: status %d, want 400", code)
+	}
+
+	// Push past the checkpoint trigger and wait out the background merge.
+	for i := 0; i < 4; i++ {
+		if res, code := post(`{"Kind":"modify","Batch":4}`); code != http.StatusOK || res.Outcome != wire.OutcomeOK {
+			t.Fatalf("trigger update %d: status %d result %+v", i, code, res)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for srv.Statz().Stats.Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint never completed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Reads still work over the checkpointed table.
+	if _, tr := postQuery(t, ts, `{"Kind":"q6","Hi":5000}`); tr.Outcome != wire.OutcomeOK {
+		t.Fatalf("post-checkpoint read: %+v", tr)
+	}
+
+	st := srv.Statz()
+	resolved := st.Stats.Completed + st.Stats.Rejected + st.Stats.TimedOut + st.Stats.Cancelled
+	if resolved != st.Arrived {
+		t.Errorf("ledger does not reconcile: %d resolved, %d arrived", resolved, st.Arrived)
+	}
+	if st.Stats.Writes != 8 {
+		t.Errorf("Writes = %d, want 8", st.Stats.Writes)
+	}
+	if st.Stats.WrQps <= 0 {
+		t.Errorf("WrQps = %v, want positive", st.Stats.WrQps)
+	}
+	if st.Stats.Checkpoints == 0 {
+		t.Error("statz lost the checkpoint count")
+	}
+}
+
 // TestDrain: after Drain, health flips to 503, new queries resolve
 // "draining" without polluting the arrival stats, and the reconciliation
 // invariant holds.

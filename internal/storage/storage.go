@@ -15,6 +15,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/iosim"
 )
@@ -125,6 +126,13 @@ type Table struct {
 	cat    *Catalog
 	Name   string
 	Schema Schema
+
+	// mu guards master. Snapshots are immutable, but the pointer to the
+	// committed one moves: a long-lived HTAP server checkpoints online
+	// while concurrent scans resolve the current master, and publishing
+	// the fresh snapshot under the lock is what makes its (plainly
+	// written) fields visible to them.
+	mu     sync.RWMutex
 	master *Snapshot
 }
 
@@ -160,7 +168,11 @@ func (c *Catalog) allocSnap() int64 {
 }
 
 // Master returns the current committed snapshot.
-func (t *Table) Master() *Snapshot { return t.master }
+func (t *Table) Master() *Snapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.master
+}
 
 // Snapshot is an immutable view of a table: one page-reference array per
 // column (the paper's storage-level snapshot for bulk appends). Snapshots
@@ -299,7 +311,7 @@ func (s *Snapshot) Append(data *ColumnData) (*Snapshot, error) {
 // while appending to an uncommitted snapshot stays anchored at the
 // transaction's original fork point.
 func (s *Snapshot) forkBase() *Snapshot {
-	if s.table.master == s {
+	if s.table.Master() == s {
 		return s
 	}
 	if s.base != nil {
@@ -316,13 +328,16 @@ var ErrConflict = errors.New("storage: write-write conflict: base snapshot is no
 // Commit installs s as the table's master snapshot. It fails with
 // ErrConflict if the master moved since the snapshot chain was forked.
 func (s *Snapshot) Commit() error {
-	if s.table.master == s {
+	t := s.table
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.master == s {
 		return nil
 	}
-	if s.base != s.table.master {
+	if s.base != t.master {
 		return ErrConflict
 	}
-	s.table.master = s
+	t.master = s
 	return nil
 }
 
@@ -347,7 +362,7 @@ func (t *Table) Checkpoint(data *ColumnData) (*Snapshot, error) {
 	empty := &Snapshot{
 		table:   t,
 		id:      t.cat.allocSnap(),
-		version: t.master.version + 1,
+		version: t.Master().version + 1,
 		cols:    make([][]*Page, len(t.Schema)),
 	}
 	ns, err := empty.Append(data)
@@ -356,7 +371,9 @@ func (t *Table) Checkpoint(data *ColumnData) (*Snapshot, error) {
 	}
 	ns.base = nil
 	_ = n
+	t.mu.Lock()
 	t.master = ns
+	t.mu.Unlock()
 	return ns, nil
 }
 

@@ -40,6 +40,8 @@ type ServeAxes struct {
 	SLO               time.Duration
 	Deadline          time.Duration
 	CancelRate        float64
+	WriteFrac         float64
+	CheckpointOps     int
 	JSONOut           string
 
 	raw struct {
@@ -91,6 +93,8 @@ func (a *ServeAxes) flagTable() []axisFlag {
 		{"clustered", scopeServe, func() bool { return a.Clustered }},
 		{"deadline", scopeServe, func() bool { return a.Deadline != 0 }},
 		{"cancel", scopeServe, func() bool { return a.CancelRate != 0 }},
+		{"writefrac", scopeServe, func() bool { return a.WriteFrac != 0 }},
+		{"ckptops", scopeServe, func() bool { return a.CheckpointOps != 0 }},
 	}
 }
 
@@ -118,6 +122,8 @@ func (a *ServeAxes) RegisterFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&a.Clustered, "clustered", false, "serve: generate lineitem sorted by l_shipdate so the zone maps have physical structure to prune against")
 	fs.DurationVar(&a.Deadline, "deadline", 0, "serve: per-query end-to-end deadline; queued queries past it are dropped (to%), executing ones killed at the next lifecycle check (0 = no deadlines)")
 	fs.Float64Var(&a.CancelRate, "cancel", 0, "serve: fraction of queries whose client cancels them mid-flight, 0..1 (can%); each cancel lands a uniform [0,SLO) delay after issue")
+	fs.Float64Var(&a.WriteFrac, "writefrac", 0, "serve: fraction of queries that are updates (insert/delete/modify through the PDT write path), 0..1; 0 keeps the read-only stream")
+	fs.IntVar(&a.CheckpointOps, "ckptops", 0, "serve: committed update operations that trigger a background checkpoint/merge (0 = never); reads keep serving pinned snapshot views while the merge runs")
 }
 
 // Parse materializes and validates the typed axes from the raw flag
@@ -159,6 +165,12 @@ func (a *ServeAxes) Parse() error {
 	}
 	if a.CancelRate < 0 || a.CancelRate > 1 {
 		return fmt.Errorf("-cancel: bad value %g: must be in [0,1]", a.CancelRate)
+	}
+	if a.WriteFrac < 0 || a.WriteFrac > 1 {
+		return fmt.Errorf("-writefrac: bad value %g: must be in [0,1]", a.WriteFrac)
+	}
+	if a.CheckpointOps < 0 {
+		return fmt.Errorf("-ckptops: bad value %d: must be positive (0 = never)", a.CheckpointOps)
 	}
 	if a.Deadline < 0 {
 		return fmt.Errorf("-deadline: bad value %v: must be positive (0 = disabled)", a.Deadline)

@@ -36,6 +36,17 @@ type ServeEngine struct {
 	n       int64
 	start   rt.Time
 
+	// htap is the engine's write path, always wired (POST /v1/update must
+	// work regardless of startup flags): the PDT store anchored at the
+	// catalog's cached snapshot, the checkpoint trigger, and the merge
+	// measurement windows. Until the first update commits, every pinned
+	// view carries nil deltas and the read path is exactly the historical
+	// snapshot builder.
+	htap *htapState
+	// ckptWG tracks in-flight background checkpoint goroutines so Close
+	// does not stop the ABM under a running merge.
+	ckptWG rt.WaitGroup
+
 	// firstArrive is the first admission's clock reading plus one (so
 	// zero means "no query yet"): stats measure the serving window, not
 	// the idle time a server spends listening before traffic shows up.
@@ -94,6 +105,8 @@ func NewServeEngine(db *tpch.DB, cfg ServeConfig) *ServeEngine {
 	if en.sch.UsesCost() {
 		en.cost = e.costModel()
 	}
+	en.htap = e.newHTAP(db, cfg)
+	en.ckptWG = e.rt.NewWaitGroup()
 	en.start = e.rt.Now()
 	return en
 }
@@ -177,6 +190,55 @@ func (en *ServeEngine) Price(r exec.RIDRange, pred *exec.ScanPredicate) float64 
 	return en.cost.EstimateScanTime(en.e.survivingTuples(r, pred)).Seconds()
 }
 
+// PriceUpdate estimates an update's expected work from its delta size
+// (batch operations), the same cost currency reads are priced in — so
+// sesf/wfq admission weighs writes against scans directly.
+func (en *ServeEngine) PriceUpdate(batch int) float64 {
+	if en.cost == nil {
+		return 0
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	return en.cost.EstimateScanTime(int64(batch)).Seconds()
+}
+
+// ApplyUpdate commits one update transaction of batch delta operations
+// of the given kind against the engine's PDT store (positions and
+// synthesized dates are drawn from the engine rng, inside the loaded
+// date domain), then checks the checkpoint trigger — crossing it starts
+// a background merge while reads keep serving pinned views. It returns
+// the operations applied plus the store's resulting commit epoch and
+// uncheckpointed-op count.
+func (en *ServeEngine) ApplyUpdate(kind UpdateKind, batch int) (applied int, version, pending int64, err error) {
+	en.mu.Lock()
+	op := UpdateOp{
+		Kind:  kind,
+		Frac:  en.rng.Float64(),
+		Date:  en.htap.dateMin + en.rng.Int63n(en.htap.dateMax-en.htap.dateMin+1),
+		Batch: batch,
+	}
+	en.mu.Unlock()
+	if op.Batch < 1 {
+		op.Batch = 1
+	}
+	if op.Batch > maxUpdateBatch {
+		op.Batch = maxUpdateBatch
+	}
+	applied, err = en.htap.apply(op)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	en.htap.maybeCheckpoint(en.e, en.ckptWG)
+	return applied, en.htap.store.Version(), en.htap.store.Pending(), nil
+}
+
+// Checkpoints reports the completed background checkpoint/merge cycles.
+func (en *ServeEngine) Checkpoints() int {
+	c, _ := en.htap.mergeStats(nil)
+	return c
+}
+
 // Admit runs the admission scheduler for q, blocking while queued. When
 // the engine's IOPriority knob is on, the query's context receives the
 // policy-derived device priority hint first, exactly as RunServe.
@@ -192,13 +254,17 @@ func (en *ServeEngine) Admit(q sched.Query) (*sched.Ticket, sched.AdmitOutcome) 
 // microbenchmark aggregations, "scan" streams the scanned rows
 // themselves (the kind whose result volume makes client backpressure
 // meaningful). The plan is bound to qc's lifecycle end to end, XChg
-// fan-out included.
+// fan-out included, and pins a (snapshot, PDT-version) view of the
+// table at build time: a checkpoint committing mid-stream never tears
+// the scan, and updates committed after the pin stay invisible to it.
 func (en *ServeEngine) BuildPlan(qc *exec.QueryCtx, kind string, r exec.RIDRange, pred *exec.ScanPredicate) (exec.Op, error) {
 	ctx := en.e.ctx
 	if qc != nil {
 		ctx = ctx.WithQuery(qc)
 	}
-	build := en.e.wrapPred(en.db, en.e.builderCtx(en.db, ctx), pred)
+	view := en.htap.view()
+	r = clipToView(r, view.NumTuples())
+	build := en.e.wrapPred(en.db, en.e.builderView(ctx, en.db, view), pred)
 	switch kind {
 	case "q1", "q6":
 		return en.e.microPlanCtx(ctx, en.db, build, r, kind == "q1"), nil
@@ -226,9 +292,11 @@ func (en *ServeEngine) Drain() { en.sch.Drain() }
 // Idle reports whether the scheduler has no running or queued queries.
 func (en *ServeEngine) Idle() bool { return en.sch.Idle() }
 
-// Close releases engine background work (the ABM's scheduler loop).
-// Call once, after the last query has resolved.
+// Close releases engine background work (the ABM's scheduler loop),
+// waiting out any in-flight checkpoint/merge first. Call once, after
+// the last query has resolved.
 func (en *ServeEngine) Close() {
+	en.ckptWG.Wait()
 	if en.e.abm != nil {
 		en.e.abm.Stop()
 	}
@@ -260,6 +328,7 @@ func (en *ServeEngine) Stats() *ServeResult {
 	now := en.e.rt.Now()
 	res.Sched = en.sch.Stats(now)
 	res.Tenants = en.sch.TenantStats(en.tenants)
+	res.Checkpoints, res.MergeP95 = en.htap.mergeStats(en.sch.Completed())
 	start := en.start
 	if fa := en.firstArrive.Load(); fa > 0 {
 		start = rt.Time(fa - 1)

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/tpch"
+)
+
+// freshClusteredTinyDB generates a private database per call: HTAP runs
+// checkpoint the table (new master, new pages), so write tests must not
+// share the package-level read-only fixtures.
+func freshClusteredTinyDB() *tpch.DB {
+	return tpch.GenerateOpt(0.004, 11, tpch.GenOptions{ClusteredShipdate: true})
+}
+
+// htapServeConfig is tinyServeConfig with a 30% write fraction and a
+// checkpoint trigger low enough that several merges complete mid-run.
+func htapServeConfig(policy Policy) ServeConfig {
+	cfg := tinyServeConfig()
+	cfg.Policy = policy
+	cfg.WriteFrac = 0.3
+	cfg.CheckpointOps = 8
+	cfg.Selectivities = []float64{0.1, 1}
+	return cfg
+}
+
+// TestServeWithUpdates drives the full HTAP serving stack: a mixed
+// read/write stream through the admission scheduler, snapshot-pinned
+// scans, and online checkpoint/merge cycles. The admission ledger must
+// reconcile with writes included, write throughput must be reported
+// separately, at least one checkpoint must complete mid-run, and reads
+// overlapping a merge window must yield a measured p95.
+func TestServeWithUpdates(t *testing.T) {
+	for _, policy := range []Policy{PBM, CScan} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			res := RunServe(freshClusteredTinyDB(), htapServeConfig(policy))
+			st := res.Sched
+			if got := st.Completed + st.Rejected + st.TimedOut + st.Cancelled; got != st.Arrived {
+				t.Fatalf("ledger does not reconcile: %d resolved, %d arrived", got, st.Arrived)
+			}
+			if st.WriteCompleted == 0 {
+				t.Fatal("no writes completed at 30% write fraction")
+			}
+			if st.WriteThroughput <= 0 {
+				t.Fatalf("write throughput = %v", st.WriteThroughput)
+			}
+			if st.Completed <= st.WriteCompleted {
+				t.Fatalf("no reads completed: %d completions, %d writes", st.Completed, st.WriteCompleted)
+			}
+			if res.Checkpoints == 0 {
+				t.Fatal("no checkpoint completed mid-run")
+			}
+			if res.MergeP95 <= 0 {
+				t.Fatalf("merge-window scan p95 = %v with %d checkpoints", res.MergeP95, res.Checkpoints)
+			}
+			if res.SkippedTuples == 0 {
+				t.Fatal("zone-map skipping went inactive under writes")
+			}
+		})
+	}
+}
+
+// TestServeWithUpdatesDeterministic: the sim-mode HTAP run is a pure
+// function of its config — two runs agree on every ledger entry, the
+// checkpoint count, and the merge-window p95.
+func TestServeWithUpdatesDeterministic(t *testing.T) {
+	// Fresh database per run: a checkpoint allocates pages and blocks
+	// from the catalog's counters, so reruns on one mutated catalog
+	// would see shifted disk geometry. A fresh load is the fixed point.
+	a := RunServe(freshClusteredTinyDB(), htapServeConfig(CScan))
+	b := RunServe(freshClusteredTinyDB(), htapServeConfig(CScan))
+	if a.Sched != b.Sched {
+		t.Fatalf("sched stats diverged:\n%+v\n%+v", a.Sched, b.Sched)
+	}
+	if a.Checkpoints != b.Checkpoints || a.MergeP95 != b.MergeP95 {
+		t.Fatalf("merge stats diverged: %d/%v vs %d/%v",
+			a.Checkpoints, a.MergeP95, b.Checkpoints, b.MergeP95)
+	}
+	if a.TotalIOBytes != b.TotalIOBytes {
+		t.Fatalf("I/O diverged: %d vs %d", a.TotalIOBytes, b.TotalIOBytes)
+	}
+}
+
+// TestServeTenantWriteFracOverride: TenantWriteFrac entries override the
+// global fraction per tenant — a single write-heavy tenant among
+// explicit zeros produces strictly fewer writes than everyone at the
+// same fraction, and the ledger still reconciles.
+func TestServeTenantWriteFracOverride(t *testing.T) {
+	one := htapServeConfig(PBM)
+	one.WriteFrac = 0
+	one.TenantWriteFrac = []float64{0.5, 0, 0, 0}
+	all := htapServeConfig(PBM)
+	all.WriteFrac = 0.5
+	ro := RunServe(freshClusteredTinyDB(), one)
+	rw := RunServe(freshClusteredTinyDB(), all)
+	if ro.Sched.WriteCompleted == 0 {
+		t.Fatal("tenant 0 never wrote")
+	}
+	if ro.Sched.WriteCompleted >= rw.Sched.WriteCompleted {
+		t.Fatalf("override did not restrict writes: %d with one tenant, %d with all",
+			ro.Sched.WriteCompleted, rw.Sched.WriteCompleted)
+	}
+	for _, st := range []sched.Stats{ro.Sched, rw.Sched} {
+		if got := st.Completed + st.Rejected + st.TimedOut + st.Cancelled; got != st.Arrived {
+			t.Fatalf("ledger does not reconcile: %d resolved, %d arrived", got, st.Arrived)
+		}
+	}
+}

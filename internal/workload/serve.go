@@ -82,6 +82,28 @@ type ServeConfig struct {
 	// default: enabling it creates a QueryCtx per query, which the
 	// historical paths do not.
 	IOPriority bool
+	// WriteFrac is the fraction of each stream's queries that are update
+	// statements (insert/delete/modify against the lineitem PDT store)
+	// instead of scans. Writes are admitted through the same policies and
+	// MPL as reads, priced by their delta size, and reported separately
+	// (Sched.WriteCompleted / WriteThroughput). Zero — the default —
+	// builds no store and keeps the read-only path bit-identical to the
+	// historical engine.
+	WriteFrac float64
+	// TenantWriteFrac overrides WriteFrac per tenant (index = tenant id;
+	// an explicit zero entry makes that tenant read-only), so a sweep can
+	// pit a write-heavy tenant against read-only ones.
+	TenantWriteFrac []float64
+	// UpdateMix weighs the update kinds {insert, delete, modify}; all
+	// zero defaults to {1, 1, 2} (half modifies, the delta-widening
+	// stressor).
+	UpdateMix [3]float64
+	// CheckpointOps triggers the background checkpoint/merge process:
+	// when the committed-but-uncheckpointed delta count reaches it, an
+	// online checkpoint materializes the store to a fresh stable snapshot
+	// while scans keep serving from their pinned views. Zero never
+	// checkpoints (deltas accumulate for the whole run).
+	CheckpointOps int
 }
 
 // DefaultTenants is the default number of fairness domains streams are
@@ -120,6 +142,12 @@ type ServeResult struct {
 	// ElapsedSec is the run's makespan in (virtual or wall) seconds, the
 	// denominator of the achieved aggregate read bandwidth.
 	ElapsedSec float64
+	// Checkpoints counts completed online checkpoint/merge cycles.
+	Checkpoints int
+	// MergeP95 is the p95 end-to-end latency of read queries whose
+	// lifetime overlapped a checkpoint/merge window — zero when no
+	// checkpoint ran or no read overlapped one.
+	MergeP95 sim.Duration
 }
 
 // RunServe executes an open-loop serving run over the microbenchmark
@@ -157,6 +185,10 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 	e.setupSkipping(db, append([][]float64{cfg.Selectivities}, cfg.TenantSelectivities...)...)
 	build := e.builder(db)
 	n := db.Snapshot("lineitem").NumTuples()
+	// The write path (PDT store, checkpoint process, view pinning) exists
+	// only when some write fraction is positive; read-only runs keep the
+	// historical engine untouched.
+	htap := e.setupHTAP(db, cfg)
 
 	sch := sched.New(e.rt, sched.Config{
 		MPL:           cfg.MPL,
@@ -185,6 +217,7 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 		if tenant < len(cfg.TenantSelectivities) && len(cfg.TenantSelectivities[tenant]) > 0 {
 			mix = cfg.TenantSelectivities[tenant]
 		}
+		wf := cfg.writeFrac(tenant)
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(s)*6271))
 		wg.Add(1)
 		e.rt.Go("client", func() {
@@ -226,14 +259,31 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 						})
 					}
 				}
+				// Update draws come after every read-shape and lifecycle
+				// draw and only on write-configured streams, so read-only
+				// runs consume exactly the historical rng sequence
+				// (golden-critical).
+				isWrite := false
+				var upd UpdateOp
+				if htap != nil && wf > 0 {
+					isWrite = rng.Float64() < wf
+					if isWrite {
+						upd = htap.drawUpdate(rng)
+					}
+				}
 				// The expected-work estimate is priced at arrival from the
 				// scan's tuple count and the cost model's current speed
 				// view — the signal sesf orders the admission queue by.
 				// Predicate scans are priced skip-aware: only the tuples
-				// the zone map says survive pruning count as work.
-				req := sched.Query{Stream: s, Seq: q, Tenant: tenant, Ctx: qc}
+				// the zone map says survive pruning count as work; updates
+				// are priced by their delta size.
+				req := sched.Query{Stream: s, Seq: q, Tenant: tenant, Ctx: qc, Write: isWrite}
 				if cost != nil {
-					req.Cost = cost.EstimateScanTime(e.survivingTuples(r, pred)).Seconds()
+					if isWrite {
+						req.Cost = cost.EstimateScanTime(int64(upd.Batch)).Seconds()
+					} else {
+						req.Cost = cost.EstimateScanTime(e.survivingTuples(r, pred)).Seconds()
+					}
 				}
 				if cfg.IOPriority {
 					qc.SetPriority(ioPriority(cfg.AdmissionPolicy, weights, tenant, req.Cost))
@@ -243,8 +293,29 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 					if !ok {
 						return // rejected, timed out, or cancelled while queued
 					}
+					if isWrite {
+						if qc != nil && qc.Cancelled() {
+							tk.Cancel(qc.Cause())
+							return
+						}
+						htap.apply(upd)
+						tk.Done()
+						htap.maybeCheckpoint(e, wg)
+						return
+					}
 					var plan exec.Op
-					if qc != nil {
+					if htap != nil {
+						// Pin the (snapshot, PDT-version) pair at plan build:
+						// a checkpoint committing mid-scan retires the old
+						// stable snapshot but never tears this query's view.
+						view := htap.view()
+						vr := clipToView(r, view.NumTuples())
+						ctx := e.ctx
+						if qc != nil {
+							ctx = e.ctx.WithQuery(qc)
+						}
+						plan = e.microPlanCtx(ctx, db, e.wrapPred(db, e.builderView(ctx, db, view), pred), vr, useQ1)
+					} else if qc != nil {
 						ctx := e.ctx.WithQuery(qc)
 						plan = e.microPlanCtx(ctx, db, e.wrapPred(db, e.builderCtx(db, ctx), pred), r, useQ1)
 					} else {
@@ -281,6 +352,7 @@ func RunServe(db *tpch.DB, cfg ServeConfig) *ServeResult {
 		res.Sched = sch.Stats(e.rt.Now())
 		res.Tenants = sch.TenantStats(tenants)
 		res.ElapsedSec = (e.rt.Now() - servingStart).Seconds()
+		res.Checkpoints, res.MergeP95 = htap.mergeStats(sch.Completed())
 	})
 	e.rt.Run()
 	res.Result = *e.finish(nil)

@@ -154,6 +154,16 @@ type ServeOptions struct {
 	// mid-flight (0..1); each such query is cancelled a uniform [0, SLO)
 	// delay after it was issued. Zero draws nothing.
 	CancelRate float64
+	// WriteFrac makes that fraction of every stream's queries updates
+	// (insert/delete/modify through the PDT write path, admitted by the
+	// same scheduler, delta-size-priced). Zero keeps the read-only stream
+	// bit-identical to the pre-HTAP sweep.
+	WriteFrac float64
+	// CheckpointOps triggers a background checkpoint/merge once that many
+	// committed update operations are pending; reads keep serving from
+	// their pinned snapshot views while the merge runs. Zero never
+	// checkpoints.
+	CheckpointOps int
 	// Real runs every cell on the real-threaded runtime (goroutines and
 	// wall-clock time) instead of the deterministic simulator. Latencies
 	// are then real milliseconds and runs are not reproducible.
@@ -285,6 +295,15 @@ type ServeRow struct {
 	// balanced, Devices means one spindle did all the work; 1.00 when the
 	// run transferred nothing.
 	Skew float64
+	// Writes and WrQps report the write side of a mixed cell: update
+	// queries completed and their throughput. Checkpoints counts the
+	// checkpoint/merge cycles that completed mid-run; MergeP95ms is the
+	// p95 end-to-end latency of read queries whose lifetime overlapped a
+	// merge window — the "does a merge stall scans" column.
+	Writes      int64
+	WrQps       float64
+	Checkpoints int
+	MergeP95ms  float64
 	// TenantP95ms and TenantSLOPct break p95 latency and SLO attainment
 	// down by tenant id (index = tenant), exposing what the aggregate
 	// hides: which tenant pays the overload tail under each admission
@@ -331,6 +350,10 @@ func ServeRowOf(res *ServeResult, rate float64, mpl int, policy string, shards, 
 		row.ReadMBps = mb(res.DiskStats.BytesRead) / res.ElapsedSec
 	}
 	row.Seeks = res.DiskStats.Seeks
+	row.Writes = res.Sched.WriteCompleted
+	row.WrQps = res.Sched.WriteThroughput
+	row.Checkpoints = res.Checkpoints
+	row.MergeP95ms = ms(res.MergeP95)
 	row.Skew = 1
 	if n := len(res.DiskStats.PerDevice); n > 0 && res.DiskStats.BytesRead > 0 {
 		row.Skew = float64(res.DiskStats.MaxDeviceBytes) * float64(n) / float64(res.DiskStats.BytesRead)
@@ -423,6 +446,8 @@ func ServeSweep(o ServeOptions) []ServeRow {
 										}
 										cfg.Deadline = o.Deadline
 										cfg.CancelRate = o.CancelRate
+										cfg.WriteFrac = o.WriteFrac
+										cfg.CheckpointOps = o.CheckpointOps
 										if iosched != "fifo" {
 											// "fifo" stays "" so the cell is bit-identical
 											// to the pre-scheduler engine.

@@ -69,6 +69,8 @@ func NewServeOptions(base Options, a ServeAxes, real bool) ServeOptions {
 		SLO:               a.SLO,
 		Deadline:          a.Deadline,
 		CancelRate:        a.CancelRate,
+		WriteFrac:         a.WriteFrac,
+		CheckpointOps:     a.CheckpointOps,
 		Real:              real,
 	}
 	// The per-run overrides must not fight the sweep's own axes.
@@ -152,6 +154,9 @@ func NewServeEngineConfig(base Options, a ServeAxes) ServeConfig {
 	if a.SLO != 0 {
 		cfg.SLO = a.SLO
 	}
+	// -writefrac shapes client traffic (scanload draws the write coin);
+	// -ckptops shapes the server's checkpoint trigger.
+	cfg.CheckpointOps = a.CheckpointOps
 	return cfg
 }
 
@@ -187,6 +192,10 @@ func (r ServeRow) Wire() wire.ServeStats {
 		ReadMBps:     r.ReadMBps,
 		Seeks:        r.Seeks,
 		Skew:         r.Skew,
+		Writes:       r.Writes,
+		WrQps:        r.WrQps,
+		Checkpoints:  r.Checkpoints,
+		MergeP95ms:   r.MergeP95ms,
 		TenantP95ms:  r.TenantP95ms,
 		TenantSLOPct: r.TenantSLOPct,
 	}

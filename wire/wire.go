@@ -26,6 +26,10 @@ const (
 	// result back as NDJSON: one JSON array per row, then one final
 	// QueryResult object (rows start with '[', the trailer with '{').
 	PathQuery = "/" + Version + "/query"
+	// PathUpdate accepts a POST with an UpdateRequest body: one update
+	// query through the same admission scheduler as reads, answered with
+	// an UpdateResult (or ErrorReply on refusal).
+	PathUpdate = "/" + Version + "/update"
 	// PathStatz serves the Statz snapshot as JSON.
 	PathStatz = "/" + Version + "/statz"
 	// PathHealth serves liveness: 200 "ok" normally, 503 "draining"
@@ -143,6 +147,48 @@ type ErrorReply struct {
 	Outcome string `json:",omitempty"`
 }
 
+// Update kinds accepted by PathUpdate.
+const (
+	KindInsert = "insert"
+	KindDelete = "delete"
+	KindModify = "modify"
+)
+
+// UpdateRequest is the POST body of PathUpdate: one update query. The
+// positions and synthesized values are drawn server-side (the table's
+// date domain lives there); the client chooses the kind and delta size.
+type UpdateRequest struct {
+	// Tenant pins the update's fairness domain, like QueryRequest.Tenant.
+	Tenant *int `json:",omitempty"`
+	// Kind is "insert", "delete" or "modify" (default "modify").
+	Kind string `json:",omitempty"`
+	// Batch is the number of delta operations the update applies in one
+	// transaction — its delta size, which also prices it for admission
+	// (default 1, clamped server-side).
+	Batch int `json:",omitempty"`
+	// Deadline arms an end-to-end deadline relative to arrival, like
+	// QueryRequest.Deadline.
+	Deadline Duration `json:",omitempty"`
+}
+
+// UpdateResult is the response body of an admitted update.
+type UpdateResult struct {
+	// Applied counts the delta operations the transaction committed
+	// (deletes stopped by the table's deletion floor are not counted).
+	Applied int
+	Tenant  int
+	Outcome string
+	// Version is the store's commit epoch after the update; Pending the
+	// committed-but-uncheckpointed delta count (the checkpoint trigger's
+	// input); Checkpoints the completed checkpoint/merge cycles so far.
+	Version     int64
+	Pending     int64
+	Checkpoints int
+	LatencyMS   float64
+	QueueWaitMS float64
+	Error       string `json:",omitempty"`
+}
+
 // ServeStats is one serving measurement in the serve-table schema: the
 // exact field set (and JSON names) of the in-process sweep's ServeRow,
 // so `scanbench -json` files, /statz exports and scanload reports all
@@ -175,6 +221,10 @@ type ServeStats struct {
 	ReadMBps     float64
 	Seeks        int64
 	Skew         float64
+	Writes       int64
+	WrQps        float64
+	Checkpoints  int
+	MergeP95ms   float64
 	TenantP95ms  []float64
 	TenantSLOPct []float64
 }
